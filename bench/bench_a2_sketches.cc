@@ -1,0 +1,74 @@
+// A2 — the [DN19] application the paper highlights: distance-sketch
+// (Thorup–Zwick) preprocessing accelerated by first sparsifying with a
+// spanner. Compares preprocessing relaxations, sketch storage, and realized
+// approximation for sketches built directly on G vs on its spanner.
+#include <cmath>
+
+#include "apsp/sketches.hpp"
+#include "bench/bench_common.hpp"
+#include "graph/distance.hpp"
+#include "spanner/tradeoff.hpp"
+#include "util/stats.hpp"
+
+using namespace mpcspan;
+using namespace mpcspan::bench;
+
+namespace {
+
+std::pair<double, double> auditSketch(const Graph& g, const DistanceSketches& sk,
+                                      std::size_t queries) {
+  Rng pick(4242);
+  std::vector<double> ratios;
+  while (ratios.size() < queries) {
+    const auto u = static_cast<VertexId>(pick.next(g.numVertices()));
+    const auto v = static_cast<VertexId>(pick.next(g.numVertices()));
+    if (u == v) continue;
+    const Weight exact = dijkstraPair(g, u, v);
+    if (exact == kInfDist || exact == 0) continue;
+    ratios.push_back(sk.query(u, v) / exact);
+  }
+  const Summary s = summarize(ratios);
+  return {s.mean, s.max};
+}
+
+}  // namespace
+
+int main() {
+  printHeader("A2 / spanner-accelerated distance sketches",
+              "[DN19]: preprocess Thorup-Zwick sketches on the spanner to cut "
+              "the dominant O~(m n^{1/k}) cost; stretch composes multiplicatively");
+
+  Table table("TZ(k=3) directly on G vs on the Section-5 spanner");
+  table.header({"n", "m", "variant", "edges used", "relaxations", "bunch entries",
+                "mean approx", "max approx", "certified"});
+  for (std::size_t n : {1000u, 4000u}) {
+    const Graph g = weightedGnm(n, 24 * n, /*seed=*/n + 3);
+    const SketchParams sp{.k = 3, .seed = 5};
+
+    const DistanceSketches direct(g, sp);
+    const auto [dm, dx] = auditSketch(g, direct, 200);
+    table.addRow({Table::num(n), Table::num(g.numEdges()), "direct",
+                  Table::num(g.numEdges()), Table::num(direct.preprocessingRelaxations()),
+                  Table::num(direct.totalBunchEntries()), Table::num(dm, 3),
+                  Table::num(dx, 2), Table::num(direct.stretchBound(), 1)});
+
+    TradeoffParams tp;
+    tp.k = 6;
+    tp.t = 0;
+    tp.seed = 7;
+    const SpannerResult spanner = buildTradeoffSpanner(g, tp);
+    const SpannerSketches accel = buildSketchesOnSpanner(g, spanner, sp);
+    const auto [am, ax] = auditSketch(g, accel.sketches, 200);
+    table.addRow({Table::num(n), Table::num(g.numEdges()), "on spanner (k=6)",
+                  Table::num(spanner.edges.size()),
+                  Table::num(accel.sketches.preprocessingRelaxations()),
+                  Table::num(accel.sketches.totalBunchEntries()), Table::num(am, 3),
+                  Table::num(ax, 2), Table::num(accel.composedStretchBound, 1)});
+  }
+  table.print();
+  std::printf("# expectation: on dense inputs the spanner variant does several\n"
+              "# times fewer preprocessing relaxations at a modest realized\n"
+              "# approximation penalty (the certified bound composes, the\n"
+              "# measured ratio barely moves on random graphs).\n");
+  return 0;
+}

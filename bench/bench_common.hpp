@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure benchmark binaries. Each binary
+// regenerates one entry of DESIGN.md's per-experiment index and prints a
+// markdown table; EXPERIMENTS.md records the paper-vs-measured comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "spanner/types.hpp"
+#include "spanner/verify.hpp"
+#include "util/table.hpp"
+
+namespace mpcspan::bench {
+
+/// Standard weighted G(n,m) workload (connected overlay).
+inline Graph weightedGnm(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  return gnmRandom(n, m, rng, {WeightModel::kUniform, 100.0}, /*connected=*/true);
+}
+
+inline Graph unweightedGnm(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  return gnmRandom(n, m, rng, {}, /*connected=*/true);
+}
+
+/// Max pairwise stretch over `sources` Dijkstra sources (cheap audit).
+inline double measuredStretch(const Graph& g, const SpannerResult& r,
+                              std::size_t sources = 6) {
+  return measurePairStretch(g, r.edges, sources, /*seed=*/12345);
+}
+
+/// |E_S| / (n^{1+1/k} * extra) — the size-bound constant.
+inline double sizeConstant(const SpannerResult& r, double extra) {
+  return r.sizeRatio(extra);
+}
+
+inline void printHeader(const char* id, const char* claim) {
+  std::printf("\n##### %s\n# paper claim: %s\n", id, claim);
+}
+
+}  // namespace mpcspan::bench

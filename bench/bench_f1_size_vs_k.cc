@@ -1,0 +1,41 @@
+// F1 — size-bound validation (figure): the constant
+// |E_S| / (n^{1+1/k} (t + log k)) stays O(1) as k grows, for the trade-off
+// algorithm (Theorem 5.15) and the [BS07] baseline (k n^{1+1/k}).
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/tradeoff.hpp"
+
+using namespace mpcspan;
+using namespace mpcspan::bench;
+
+int main() {
+  const std::size_t n = 8192;
+  const Graph g = weightedGnm(n, 16 * n, /*seed=*/31);
+
+  printHeader("F1 / size vs k",
+              "|E_S| = O(n^{1+1/k}(t+log k)) [Thm 5.15] and O(k n^{1+1/k}) [BS07]");
+  std::printf("# workload: weighted G(n=%zu, m=%zu); series over k\n", n, g.numEdges());
+
+  Table table("size constants vs k (t = log k for the trade-off)");
+  table.header({"k", "tradeoff |E_S|", "tradeoff const", "bs07 |E_S|", "bs07 const",
+                "graph m"});
+  for (std::uint32_t k : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+    TradeoffParams p;
+    p.k = k;
+    p.t = 0;
+    p.seed = 37;
+    const SpannerResult tr = buildTradeoffSpanner(g, p);
+    const SpannerResult bs = buildBaswanaSen(g, {.k = k, .seed = 37});
+    const double logk = std::max(1.0, std::log2(double(k)));
+    table.addRow({Table::num(int(k)), Table::num(tr.edges.size()),
+                  Table::num(tr.sizeRatio(double(tr.t) + logk), 3),
+                  Table::num(bs.edges.size()), Table::num(bs.sizeRatio(double(k)), 3),
+                  Table::num(g.numEdges())});
+  }
+  table.print();
+  std::printf("# expectation: both constants bounded (no growth with k); spanner size\n"
+              "# falls toward ~n as k rises while the input stays m=%zu.\n", g.numEdges());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// F2 — stretch scaling (figure): measured max pairwise stretch vs k for
+// each algorithm. The paper's crossover story: [BS07] has the least stretch
+// (2k-1) but Theta(k) rounds; the fast algorithms pay k^s with s in
+// (1, log2 3].
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+
+using namespace mpcspan;
+using namespace mpcspan::bench;
+
+int main() {
+  const std::size_t n = 2048;
+  const Graph g = weightedGnm(n, 10 * n, /*seed=*/41);
+
+  printHeader("F2 / stretch vs k",
+              "measured stretch per algorithm; BS07 smallest, t=1 largest");
+  std::printf("# workload: weighted G(n=%zu, m=%zu); 6-source pairwise audit\n", n,
+              g.numEdges());
+
+  Table table("measured max pairwise stretch vs k");
+  table.header({"k", "bs07 (2k-1)", "cluster-merging", "tradeoff t=logk", "sqrtk",
+                "bs07 iters", "cm iters"});
+  for (std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+    const auto bs = buildBaswanaSen(g, {.k = k, .seed = 43});
+    const auto cm = buildClusterMergingSpanner(g, {.k = k, .seed = 43});
+    TradeoffParams tp;
+    tp.k = k;
+    tp.t = 0;
+    tp.seed = 43;
+    const auto to = buildTradeoffSpanner(g, tp);
+    const auto sq = buildSqrtKSpanner(g, {.k = k, .seed = 43});
+    table.addRow({Table::num(int(k)), Table::num(measuredStretch(g, bs), 2),
+                  Table::num(measuredStretch(g, cm), 2),
+                  Table::num(measuredStretch(g, to), 2),
+                  Table::num(measuredStretch(g, sq), 2), Table::num(bs.iterations),
+                  Table::num(cm.iterations)});
+  }
+  table.print();
+  std::printf("# expectation: every column grows with k; BS07 column smallest;\n"
+              "# cluster-merging grows fastest (k^{log2 3} worst case), with the\n"
+              "# trade-off and sqrt-k columns in between.\n");
+  return 0;
+}

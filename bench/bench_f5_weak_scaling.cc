@@ -1,0 +1,43 @@
+// F5 — weak scaling (figure): the paper's round counts depend on k (and
+// gamma), NOT on n. Fixing k and growing n by 64x must leave the round
+// ledger untouched while the work (edges touched) grows linearly — the
+// defining property of an MPC algorithm in the strongly sublinear regime.
+#include <chrono>
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "spanner/tradeoff.hpp"
+
+using namespace mpcspan;
+using namespace mpcspan::bench;
+
+int main() {
+  const std::uint32_t k = 8, t = 2;
+  printHeader("F5 / weak scaling",
+              "rounds independent of n at fixed k (Theorem 1.1); host time ~ m");
+
+  Table table("n sweep at k=8, t=2 (weighted G(n, 8n))");
+  table.header({"n", "m", "iters", "mpc rounds(g=.5)", "|E_S|", "|E_S|/n",
+                "host ms", "ms/edge (x1e-3)"});
+  for (std::size_t n : {1024u, 4096u, 16384u, 65536u}) {
+    const Graph g = weightedGnm(n, 8 * n, /*seed=*/n + 9);
+    TradeoffParams p;
+    p.k = k;
+    p.t = t;
+    p.seed = 91;
+    const auto start = std::chrono::steady_clock::now();
+    const SpannerResult r = buildTradeoffSpanner(g, p);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    table.addRow({Table::num(n), Table::num(g.numEdges()), Table::num(r.iterations),
+                  Table::num(r.cost.mpcRounds(0.5)), Table::num(r.edges.size()),
+                  Table::num(double(r.edges.size()) / double(n), 2),
+                  Table::num(ms, 1),
+                  Table::num(1000.0 * ms / double(g.numEdges()), 3)});
+  }
+  table.print();
+  std::printf("# expectation: the rounds column is constant over a 64x growth in\n"
+              "# n; host time per edge is flat (linear total work).\n");
+  return 0;
+}

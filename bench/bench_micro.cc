@@ -1,0 +1,95 @@
+// M1 — google-benchmark micro suite: throughput of the substrate pieces
+// (generators, Dijkstra, engine iterations, distributed primitives).
+#include <benchmark/benchmark.h>
+
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+#include "mpc/primitives.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/verify.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mpcspan;
+
+void BM_GnmGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(gnmRandom(n, 8 * n, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * n);
+}
+BENCHMARK(BM_GnmGenerate)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Graph g = gnmRandom(n, 8 * n, rng, {WeightModel::kUniform, 10.0}, true);
+  VertexId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, src));
+    src = static_cast<VertexId>((src + 1) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * n);
+}
+BENCHMARK(BM_Dijkstra)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_BaswanaSen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Graph g = gnmRandom(n, 8 * n, rng, {WeightModel::kUniform, 10.0}, true);
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(buildBaswanaSen(g, {.k = 4, .seed = seed++}));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * n);
+}
+BENCHMARK(BM_BaswanaSen)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_TradeoffSpanner(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  const Graph g = gnmRandom(n, 8 * n, rng, {WeightModel::kUniform, 10.0}, true);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    TradeoffParams p;
+    p.k = 16;
+    p.t = 0;
+    p.seed = seed++;
+    benchmark::DoNotOptimize(buildTradeoffSpanner(g, p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 * n);
+}
+BENCHMARK(BM_TradeoffSpanner)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_DistSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<std::uint64_t> data(n);
+  for (auto& x : data) x = rng.next(1u << 24);
+  for (auto _ : state) {
+    MpcSimulator sim(MpcConfig::forInput(n, 0.6, 3.0));
+    DistVector<std::uint64_t> dv(sim, data);
+    distSort(dv, std::less<>());
+    benchmark::DoNotOptimize(dv.shards());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DistSort)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_VerifyPairStretch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(19);
+  const Graph g = gnmRandom(n, 8 * n, rng, {WeightModel::kUniform, 10.0}, true);
+  const auto r = buildBaswanaSen(g, {.k = 3, .seed = 5});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measurePairStretch(g, r.edges, 2, 1));
+}
+BENCHMARK(BM_VerifyPairStretch)->Arg(1 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// T2 — Theorem 1.1 / Theorem 5.15: the full trade-off sweep over t at fixed
+// k. Rounds O(t log k / log(t+1)); stretch O(k^s), s = log(2t+1)/log(t+1);
+// size O(n^{1+1/k} (t + log k)).
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "spanner/tradeoff.hpp"
+
+using namespace mpcspan;
+using namespace mpcspan::bench;
+
+int main() {
+  const std::size_t n = 4096;
+  const std::uint32_t k = 16;
+  const Graph g = weightedGnm(n, 16 * n, /*seed=*/2);
+
+  printHeader("T2 / Theorem 1.1", "rounds O(t log k/log(t+1)), stretch O(k^s), "
+                                  "size O(n^{1+1/k}(t+log k))");
+  std::printf("# workload: weighted G(n=%zu, m=%zu), k=%u\n", n, g.numEdges(), k);
+
+  Table table("t sweep at k=16");
+  table.header({"t", "epochs", "iters", "mpc rounds(g=.5)", "s", "k^s",
+                "certified", "measured", "|E_S|", "size-const"});
+  for (std::uint32_t t : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    TradeoffParams p;
+    p.k = k;
+    p.t = t;
+    p.seed = 11;
+    const SpannerResult r = buildTradeoffSpanner(g, p);
+    const double s = tradeoffStretchExponent(t);
+    table.addRow({Table::num(int(t)), Table::num(r.epochs), Table::num(r.iterations),
+                  Table::num(r.cost.mpcRounds(0.5)), Table::num(s, 3),
+                  Table::num(std::pow(double(k), s), 1),
+                  Table::num(r.stretchBound, 1), Table::num(measuredStretch(g, r), 2),
+                  Table::num(r.edges.size()),
+                  Table::num(sizeConstant(r, t + std::log2(double(k))), 3)});
+  }
+  table.print();
+  std::printf("# expectation: iterations grow ~t/log(t+1) * log k; stretch exponent\n"
+              "# s falls from log2(3)=1.585 toward 1; crossover: t=k is Baswana-Sen.\n");
+  return 0;
+}

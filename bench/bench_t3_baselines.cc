@@ -1,0 +1,59 @@
+// T3 — baseline comparison: Baswana-Sen [BS07] (the paper's baseline:
+// optimal stretch 2k-1 but Theta(k) iterations) against the paper's three
+// algorithms, across graph families. "Who wins": the fast algorithms use
+// exponentially fewer iterations at a polynomial stretch penalty.
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+
+using namespace mpcspan;
+using namespace mpcspan::bench;
+
+int main() {
+  const std::size_t n = 4096;
+  const std::uint32_t k = 8;
+  printHeader("T3 / baselines", "[BS07]: k-1 iters, stretch 2k-1; Sec.4: log k iters, "
+                                "k^{log 3}; Sec.5(t=log k): k^{1+o(1)}; Sec.3: sqrt(k) iters, O(k)");
+
+  struct W {
+    const char* name;
+    Graph g;
+  };
+  Rng rng(3);
+  std::vector<W> workloads;
+  workloads.push_back({"gnm-weighted", weightedGnm(n, 8 * n, 3)});
+  workloads.push_back({"barabasi-albert",
+                       barabasiAlbert(n, 4, rng, {WeightModel::kUniform, 100.0})});
+  workloads.push_back({"grid64x64", grid2d(64, 64, rng, {WeightModel::kUniform, 100.0})});
+
+  for (const W& w : workloads) {
+    Table table(std::string("k=8 on ") + w.name + " (n=" +
+                std::to_string(w.g.numVertices()) + ", m=" +
+                std::to_string(w.g.numEdges()) + ")");
+    table.header({"algorithm", "iters", "mpc rounds(g=.5)", "certified", "measured",
+                  "|E_S|", "|E_S|/n"});
+    auto addRow = [&](const char* name, const SpannerResult& r) {
+      table.addRow({name, Table::num(r.iterations), Table::num(r.cost.mpcRounds(0.5)),
+                    Table::num(r.stretchBound, 1),
+                    Table::num(measuredStretch(w.g, r), 2), Table::num(r.edges.size()),
+                    Table::num(double(r.edges.size()) / double(w.g.numVertices()), 2)});
+    };
+    addRow("baswana-sen [BS07]", buildBaswanaSen(w.g, {.k = k, .seed = 5}));
+    addRow("cluster-merging (Sec.4)",
+           buildClusterMergingSpanner(w.g, {.k = k, .seed = 5}));
+    TradeoffParams tp;
+    tp.k = k;
+    tp.t = 0;
+    tp.seed = 5;
+    addRow("tradeoff t=log k (Sec.5)", buildTradeoffSpanner(w.g, tp));
+    addRow("sqrt-k (Sec.3)", buildSqrtKSpanner(w.g, {.k = k, .seed = 5}));
+    table.print();
+  }
+  std::printf("# expectation: BS07 lowest measured stretch and most iterations;\n"
+              "# cluster-merging fewest iterations and highest stretch; the others between.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scenario: an approximate distance oracle for a road-like network
+// (Corollary 1.4 / Section 7 end-to-end).
+//
+// A random geometric graph with Euclidean weights stands in for a road
+// network. We run the near-linear-memory MPC APSP pipeline: build the
+// k=log n spanner, confirm it fits a single O~(n)-word machine, then answer
+// point-to-point queries from that machine and compare with exact Dijkstra.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apsp/apsp_mpc.hpp"
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+using namespace mpcspan;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16000;
+
+  Rng rng(12);
+  const double radius = std::sqrt(10.0 / (3.14159265 * static_cast<double>(n)));
+  const Graph g = randomGeometric(n, radius, rng, /*euclideanWeights=*/true);
+  std::printf("road network: n=%zu m=%zu (geometric, Euclidean weights)\n",
+              g.numVertices(), g.numEdges());
+
+  MpcApspResult r = runMpcApsp(g, {.seed = 5});
+  std::printf("oracle: k=%u t=%u, spanner %zu edges (%zu words), machine budget %zu "
+              "words -> fits: %s\n",
+              r.kUsed, r.tUsed, r.oracle.spanner().edges.size(),
+              r.oracle.spannerWords(), r.machineMemoryWords,
+              r.fitsOneMachine ? "yes" : "NO");
+  std::printf("rounds (near-linear regime): %ld; certified approximation <= %.1f; "
+              "theoretical log^s n = %.1f\n",
+              r.roundsNearLinear, r.approxCertified, r.approxTheoretical);
+
+  // Point-to-point queries vs ground truth.
+  std::vector<double> ratios;
+  Rng qrng(17);
+  for (int q = 0; q < 5; ++q) {
+    const auto src = static_cast<VertexId>(qrng.next(g.numVertices()));
+    const auto exact = dijkstra(g, src);
+    const auto& approx = r.oracle.distancesFrom(src);
+    for (VertexId v = 0; v < g.numVertices(); v += 97)
+      if (v != src && exact[v] != kInfDist && exact[v] > 0)
+        ratios.push_back(approx[v] / exact[v]);
+  }
+  const Summary s = summarize(ratios);
+  std::printf("query audit over %zu pairs: mean ratio %.3f, p90 %.3f, max %.3f\n",
+              s.count, s.mean, s.p90, s.max);
+  std::printf("\nReading: geometric graphs are locally tree-like, so realized\n"
+              "approximation is drastically better than the worst-case bound.\n");
+  return r.fitsOneMachine ? 0 : 1;
+}

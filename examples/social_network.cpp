@@ -1,0 +1,53 @@
+// Scenario: sparsifying a social network for analytics.
+//
+// Heavy-tailed (Barabasi-Albert) graphs are the canonical "MapReduce-scale"
+// workload the MPC literature motivates. This example compares all four
+// spanner algorithms as sparsifiers: how many edges survive, how distorted
+// distances get, and how many rounds a real deployment would pay.
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/generators.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/verify.hpp"
+#include "util/table.hpp"
+
+using namespace mpcspan;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  Rng rng(7);
+  const Graph g = barabasiAlbert(n, 8, rng, {WeightModel::kUniform, 10.0});
+  std::printf("social graph: n=%zu m=%zu (preferential attachment, weighted)\n",
+              g.numVertices(), g.numEdges());
+
+  Table table("sparsification trade-offs (k=" + std::to_string(k) + ")");
+  table.header({"algorithm", "kept edges", "kept %", "iters",
+                "rounds (near-linear)", "measured stretch"});
+  auto addRow = [&](const char* name, const SpannerResult& r) {
+    table.addRow({name, Table::num(r.edges.size()),
+                  Table::num(100.0 * double(r.edges.size()) / double(g.numEdges()), 1),
+                  Table::num(r.iterations), Table::num(r.cost.nearLinearRounds()),
+                  Table::num(measurePairStretch(g, r.edges, 4, 1), 2)});
+  };
+
+  addRow("baswana-sen", buildBaswanaSen(g, {.k = k, .seed = 1}));
+  addRow("cluster-merging", buildClusterMergingSpanner(g, {.k = k, .seed = 1}));
+  TradeoffParams tp;
+  tp.k = k;
+  tp.t = 0;
+  tp.seed = 1;
+  addRow("tradeoff (t=log k)", buildTradeoffSpanner(g, tp));
+  addRow("sqrt-k", buildSqrtKSpanner(g, {.k = k, .seed = 1}));
+  table.print();
+
+  std::printf("\nReading: hubs make BA graphs easy to sparsify; the fast\n"
+              "algorithms keep roughly the same number of edges as Baswana-Sen\n"
+              "while using a fraction of the rounds.\n");
+  return 0;
+}

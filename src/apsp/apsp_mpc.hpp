@@ -1,0 +1,38 @@
+// Corollary 1.4: O(log^s n)-approximate weighted APSP in the near-linear
+// memory regime of MPC.
+//
+// Build the Section 5 spanner with k = ceil(log2 n) and t = O(log log n):
+// its size is O(n^{1+1/log n} (t + log k)) = O~(n), so it fits a single
+// machine with O~(n) memory; ship it there (O(1) rounds) and answer all
+// queries locally. Total rounds O(t log log n / log(t+1)); approximation
+// O(log^s n), s = log(2t+1)/log(t+1).
+#pragma once
+
+#include <cstdint>
+
+#include "apsp/oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+struct MpcApspParams {
+  std::uint32_t t = 0;  // 0 selects ceil(log2 log2 n)
+  std::uint64_t seed = 1;
+  /// One machine's memory in words: c * n * log2(n) ("O~(n)").
+  double machineMemoryFactor = 4.0;
+};
+
+struct MpcApspResult {
+  SpannerDistanceOracle oracle;
+  std::uint32_t kUsed = 0;
+  std::uint32_t tUsed = 0;
+  long roundsNearLinear = 0;   // supersteps (1 round each) + O(1) collection
+  std::size_t machineMemoryWords = 0;
+  bool fitsOneMachine = false;
+  double approxTheoretical = 0;  // log^s n
+  double approxCertified = 0;    // the run's certified stretch bound
+};
+
+MpcApspResult runMpcApsp(const Graph& g, const MpcApspParams& params);
+
+}  // namespace mpcspan

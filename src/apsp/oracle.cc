@@ -1,0 +1,26 @@
+#include "apsp/oracle.hpp"
+
+#include "graph/connectivity.hpp"
+#include "graph/distance.hpp"
+
+namespace mpcspan {
+
+SpannerDistanceOracle::SpannerDistanceOracle(const Graph& g, SpannerResult spanner,
+                                             std::size_t cacheSources)
+    : spanner_(std::move(spanner)),
+      h_(subgraph(g, spanner_.edges)),
+      cacheSources_(cacheSources) {}
+
+const std::vector<Weight>& SpannerDistanceOracle::distancesFrom(VertexId src) {
+  auto it = cache_.find(src);
+  if (it != cache_.end()) return it->second;
+  if (cache_.size() >= cacheSources_) cache_.clear();  // APSP sweeps sources once
+  return cache_.emplace(src, dijkstra(h_, src)).first->second;
+}
+
+Weight SpannerDistanceOracle::query(VertexId u, VertexId v) {
+  if (u == v) return 0;
+  return distancesFrom(u)[v];
+}
+
+}  // namespace mpcspan

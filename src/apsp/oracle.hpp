@@ -1,0 +1,44 @@
+// SpannerDistanceOracle — the local half of the Section 7 APSP application:
+// once the near-linear-size spanner sits on one machine, that machine
+// answers any distance query by Dijkstra on the spanner. Per-source results
+// are cached (LRU-less bounded cache: the APSP use case touches every
+// source once, so a simple bound suffices).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spanner/types.hpp"
+
+namespace mpcspan {
+
+class SpannerDistanceOracle {
+ public:
+  /// Takes the host graph (for vertex count / ids) and the spanner to
+  /// answer from. `cacheSources` bounds the number of cached Dijkstra runs.
+  SpannerDistanceOracle(const Graph& g, SpannerResult spanner,
+                        std::size_t cacheSources = 64);
+
+  const SpannerResult& spanner() const { return spanner_; }
+  const Graph& spannerGraph() const { return h_; }
+
+  /// Upper bound on d_G(u,v): the spanner distance. kInfDist if disconnected.
+  Weight query(VertexId u, VertexId v);
+
+  /// All approximate distances from src (cached).
+  const std::vector<Weight>& distancesFrom(VertexId src);
+
+  /// Memory footprint of the spanner in words (2 per edge), the quantity
+  /// that must fit one machine in the near-linear regime.
+  std::size_t spannerWords() const { return 2 * spanner_.edges.size(); }
+
+ private:
+  SpannerResult spanner_;
+  Graph h_;
+  std::size_t cacheSources_;
+  std::unordered_map<VertexId, std::vector<Weight>> cache_;
+};
+
+}  // namespace mpcspan

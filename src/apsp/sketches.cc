@@ -1,0 +1,134 @@
+#include "apsp/sketches.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "graph/connectivity.hpp"
+#include "graph/distance.hpp"
+#include "util/rng.hpp"
+
+namespace mpcspan {
+
+namespace {
+using QItem = std::pair<Weight, VertexId>;
+using MinHeap = std::priority_queue<QItem, std::vector<QItem>, std::greater<>>;
+}  // namespace
+
+DistanceSketches::DistanceSketches(const Graph& g, const SketchParams& params)
+    : k_(std::max<std::uint32_t>(params.k, 1)), n_(g.numVertices()) {
+  build(g, params.seed);
+}
+
+void DistanceSketches::build(const Graph& g, std::uint64_t seed) {
+  // Levels: A_0 = V; A_i keeps each member of A_{i-1} with prob n^{-1/k}.
+  const double p =
+      std::pow(static_cast<double>(std::max<std::size_t>(n_, 2)),
+               -1.0 / static_cast<double>(k_));
+  std::vector<std::vector<VertexId>> levels(k_);
+  levels[0].resize(n_);
+  for (VertexId v = 0; v < n_; ++v) levels[0][v] = v;
+  for (std::uint32_t i = 1; i < k_; ++i)
+    for (VertexId v : levels[i - 1]) {
+      const std::uint64_t h = mix64(seed ^ mix64((std::uint64_t(i) << 32) | v));
+      if (static_cast<double>(h >> 11) * 0x1.0p-53 < p) levels[i].push_back(v);
+    }
+  levelSizes_.clear();
+  for (const auto& lvl : levels)
+    levelSizes_.push_back(static_cast<VertexId>(lvl.size()));
+
+  // Pivots: multi-source Dijkstra from each level (level k == empty set,
+  // distance infinity by convention).
+  pivotDist_.assign(k_ + 1, std::vector<Weight>(n_, kInfDist));
+  pivot_.assign(k_ + 1, std::vector<VertexId>(n_, kNoVertex));
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    auto& dist = pivotDist_[i];
+    auto& piv = pivot_[i];
+    MinHeap heap;
+    for (VertexId s : levels[i]) {
+      dist[s] = 0;
+      piv[s] = s;
+      heap.emplace(0.0, s);
+    }
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > dist[v]) continue;
+      for (const Incidence& inc : g.neighbors(v)) {
+        const Weight nd = d + g.edge(inc.edge).w;
+        ++relaxations_;
+        if (nd < dist[inc.to]) {
+          dist[inc.to] = nd;
+          piv[inc.to] = piv[v];
+          heap.emplace(nd, inc.to);
+        }
+      }
+    }
+  }
+
+  // Bunches: for each w in A_i \ A_{i+1}, a Dijkstra truncated to the
+  // region where d(w, v) < d(A_{i+1}, v).
+  bunch_.assign(n_, {});
+  std::vector<char> inNext(n_, 0);
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    std::fill(inNext.begin(), inNext.end(), 0);
+    if (i + 1 < k_)
+      for (VertexId v : levels[i + 1]) inNext[v] = 1;
+    for (VertexId w : levels[i]) {
+      if (i + 1 < k_ && inNext[w]) continue;  // belongs to a higher level
+      std::unordered_map<VertexId, Weight> dist;
+      dist.emplace(w, 0.0);
+      MinHeap heap;
+      heap.emplace(0.0, w);
+      while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        const auto dv = dist.find(v);
+        if (dv == dist.end() || d > dv->second) continue;
+        bunch_[v].emplace(w, d);
+        for (const Incidence& inc : g.neighbors(v)) {
+          const Weight nd = d + g.edge(inc.edge).w;
+          ++relaxations_;
+          if (nd >= pivotDist_[i + 1][inc.to]) continue;  // TZ truncation
+          const auto it = dist.find(inc.to);
+          if (it == dist.end() || nd < it->second) {
+            dist[inc.to] = nd;
+            heap.emplace(nd, inc.to);
+          }
+        }
+      }
+    }
+  }
+}
+
+Weight DistanceSketches::query(VertexId u, VertexId v) const {
+  if (u == v) return 0;
+  VertexId w = u;
+  Weight du = 0;  // d(w, u)
+  for (std::uint32_t i = 0;; ) {
+    const auto it = bunch_[v].find(w);
+    if (it != bunch_[v].end()) return du + it->second;
+    ++i;
+    if (i >= k_) return kInfDist;
+    std::swap(u, v);
+    w = pivot_[i][u];
+    if (w == kNoVertex) return kInfDist;
+    du = pivotDist_[i][u];
+  }
+}
+
+std::size_t DistanceSketches::totalBunchEntries() const {
+  std::size_t total = 0;
+  for (const auto& b : bunch_) total += b.size();
+  return total;
+}
+
+SpannerSketches buildSketchesOnSpanner(const Graph& g, const SpannerResult& spanner,
+                                       const SketchParams& params) {
+  const Graph h = subgraph(g, spanner.edges);
+  SpannerSketches out{DistanceSketches(h, params),
+                      (2.0 * params.k - 1.0) * spanner.stretchBound,
+                      spanner.edges.size()};
+  return out;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,72 @@
+// Thorup–Zwick distance sketches, and the spanner-accelerated variant.
+//
+// The paper motivates its spanners partly through [DN19]: distance-sketch
+// preprocessing is dominated by graph size, so computing the sketches on a
+// near-linear-size spanner instead of the input graph cuts the work from
+// O~(m n^{1/k}) to O~(n^{1+1/k+o(1)}) at a multiplicative stretch cost.
+// This module implements the classical Thorup–Zwick construction
+// (levels A_0 ⊇ A_1 ⊇ … ⊇ A_{k-1}, pivots, bunches; stretch 2k-1 and
+// expected bunch size O(k n^{1/k})) plus a helper that builds it on top of
+// any SpannerResult, with the composed stretch certificate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spanner/types.hpp"
+
+namespace mpcspan {
+
+struct SketchParams {
+  std::uint32_t k = 3;  // levels; stretch 2k-1
+  std::uint64_t seed = 1;
+};
+
+class DistanceSketches {
+ public:
+  DistanceSketches(const Graph& g, const SketchParams& params);
+
+  /// Estimated distance; at most (2k-1) * d(u,v), at least d(u,v).
+  /// kInfDist when u,v are disconnected.
+  Weight query(VertexId u, VertexId v) const;
+
+  std::uint32_t k() const { return k_; }
+  double stretchBound() const { return 2.0 * k_ - 1.0; }
+
+  /// Sum of bunch sizes (the sketch storage; expected O(k n^{1+1/k})).
+  std::size_t totalBunchEntries() const;
+
+  /// Edge relaxations performed during preprocessing (the [DN19] cost that
+  /// spanners shrink).
+  std::size_t preprocessingRelaxations() const { return relaxations_; }
+
+  const std::vector<VertexId>& levelSizes() const { return levelSizes_; }
+
+ private:
+  void build(const Graph& g, std::uint64_t seed);
+
+  std::uint32_t k_;
+  std::size_t n_;
+  // pivotDist_[i][v] = d(A_i, v); pivot_[i][v] = the realizing vertex.
+  std::vector<std::vector<Weight>> pivotDist_;
+  std::vector<std::vector<VertexId>> pivot_;
+  // bunch_[v]: w -> d(w, v).
+  std::vector<std::unordered_map<VertexId, Weight>> bunch_;
+  std::vector<VertexId> levelSizes_;
+  std::size_t relaxations_ = 0;
+};
+
+/// Sketches computed on the spanner instead of g (the [DN19] application).
+/// The composed stretch certificate is (2k-1) * spanner.stretchBound.
+struct SpannerSketches {
+  DistanceSketches sketches;
+  double composedStretchBound = 0;
+  std::size_t spannerEdges = 0;
+};
+
+SpannerSketches buildSketchesOnSpanner(const Graph& g, const SpannerResult& spanner,
+                                       const SketchParams& params);
+
+}  // namespace mpcspan

@@ -1,0 +1,58 @@
+#include "cclique/clique.hpp"
+
+#include <string>
+
+namespace mpcspan {
+
+CongestedClique::CongestedClique(std::size_t n) : n_(n) {
+  if (n_ == 0) throw std::invalid_argument("CongestedClique: n must be positive");
+}
+
+std::vector<std::vector<std::pair<VertexId, Word>>> CongestedClique::directRound(
+    const std::vector<Msg>& msgs) {
+  // Per ordered pair at most one message.
+  std::vector<std::vector<std::pair<VertexId, Word>>> inbox(n_);
+  std::vector<std::vector<char>> usedRow(n_);  // lazily sized
+  for (const Msg& m : msgs) {
+    if (m.src >= n_ || m.dst >= n_)
+      throw std::invalid_argument("CongestedClique: node id out of range");
+    auto& row = usedRow[m.src];
+    if (row.empty()) row.assign(n_, 0);
+    if (row[m.dst])
+      throw CapacityError("CongestedClique: pair (" + std::to_string(m.src) + "," +
+                          std::to_string(m.dst) + ") used twice in one round");
+    row[m.dst] = 1;
+    inbox[m.dst].emplace_back(m.src, m.payload);
+  }
+  ++rounds_;
+  words_ += msgs.size();
+  return inbox;
+}
+
+void CongestedClique::lenzenRoute(const std::vector<std::size_t>& sendPerNode,
+                                  const std::vector<std::size_t>& recvPerNode) {
+  if (sendPerNode.size() != n_ || recvPerNode.size() != n_)
+    throw std::invalid_argument("CongestedClique: per-node vectors must have size n");
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (sendPerNode[v] > n_)
+      throw CapacityError("Lenzen routing: node sends more than n words");
+    if (recvPerNode[v] > n_)
+      throw CapacityError("Lenzen routing: node receives more than n words");
+    total += sendPerNode[v];
+  }
+  rounds_ += 2;  // [Len13]: O(1) rounds, deterministically 2 phases
+  words_ += total;
+}
+
+std::size_t CongestedClique::collectToAll(std::size_t totalWords) {
+  // Every node must receive totalWords words at n-1 words per round, plus
+  // one round to spread the payload evenly first.
+  const std::size_t perRound = n_ > 1 ? n_ - 1 : 1;
+  const std::size_t r = 1 + (totalWords + perRound - 1) / perRound;
+  rounds_ += r;
+  words_ += totalWords * n_;
+  return r;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,64 @@
+// Congested Clique simulator (Section 8).
+//
+// n nodes; in one synchronous round every ordered pair may exchange one
+// Theta(log n)-bit message (one machine word here). The simulator enforces
+// the per-pair limit, counts rounds and words, and provides the two routing
+// facilities the paper relies on:
+//   - Lenzen's routing [Len13]: any instance where each node sends and
+//     receives at most n words completes in O(1) rounds (we charge 2).
+//   - spanner collection: every node learns a payload of W words in
+//     ceil(W/(n-1)) + O(1) rounds (Corollary 1.5's "let all vertices learn
+//     the whole spanner").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/simulator.hpp"  // reuses Word and CapacityError
+
+namespace mpcspan {
+
+class CongestedClique {
+ public:
+  explicit CongestedClique(std::size_t n);
+
+  std::size_t numNodes() const { return n_; }
+  std::size_t rounds() const { return rounds_; }
+  std::size_t totalWords() const { return words_; }
+
+  struct Msg {
+    VertexId src;
+    VertexId dst;
+    Word payload;
+  };
+
+  /// One direct round: at most one word per ordered (src,dst) pair.
+  /// Returns per-node inboxes as (src, payload) pairs.
+  std::vector<std::vector<std::pair<VertexId, Word>>> directRound(
+      const std::vector<Msg>& msgs);
+
+  /// Validates a Lenzen routing instance (per-node send/receive <= n words)
+  /// and charges its O(1) rounds. The caller performs delivery host-side;
+  /// this accounts for the cost and rejects infeasible instances.
+  void lenzenRoute(const std::vector<std::size_t>& sendPerNode,
+                   const std::vector<std::size_t>& recvPerNode);
+
+  /// Rounds for every node to learn the same `totalWords`-word payload
+  /// (each node can receive n-1 words per round; the payload is spread over
+  /// the nodes and then disseminated). Charges and returns the rounds.
+  std::size_t collectToAll(std::size_t totalWords);
+
+  /// One broadcast round: each node sends one word to all others.
+  void broadcastRound() { chargeRounds(1); }
+
+  void chargeRounds(std::size_t r) { rounds_ += r; }
+
+ private:
+  std::size_t n_;
+  std::size_t rounds_ = 0;
+  std::size_t words_ = 0;
+};
+
+}  // namespace mpcspan

@@ -1,0 +1,70 @@
+#include "cclique/spanner_cc.hpp"
+
+#include <cmath>
+
+#include "spanner/baswana_sen.hpp"
+#include "spanner/tradeoff.hpp"
+#include "util/rng.hpp"
+
+namespace mpcspan {
+
+RepetitionSamplingPolicy::RepetitionSamplingPolicy(std::uint64_t seed, std::size_t n,
+                                                   Thresholds thresholds)
+    : seed_(seed),
+      repetitions_(static_cast<std::size_t>(
+          std::ceil(3.0 * std::log2(static_cast<double>(std::max<std::size_t>(n, 4)))))),
+      logN_(std::log(static_cast<double>(std::max<std::size_t>(n, 3)))),
+      thresholds_(thresholds) {}
+
+std::vector<char> RepetitionSamplingPolicy::choose(
+    const std::vector<char>& rootActive, double p, std::uint64_t drawKey,
+    const std::function<IterPlanStats(const std::vector<char>&)>& dryRun,
+    SpannerResult::RepetitionStats& stats) {
+  std::vector<char> bestDraw;
+  std::size_t bestEdges = static_cast<std::size_t>(-1);
+  for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+    const std::uint64_t repSeed = seed_ ^ mix64(0xabcdef12u + rep);
+    std::vector<char> draw = HashCoinPolicy::draw(rootActive, p, repSeed, drawKey);
+    ++stats.totalDraws;
+    const IterPlanStats plan = dryRun(draw);
+    const double clusterBound =
+        thresholds_.clusterSlack * p * static_cast<double>(plan.totalClusters) +
+        thresholds_.logTerm * logN_;
+    const double edgeBound =
+        p > 0 ? thresholds_.edgeSlack *
+                    (static_cast<double>(plan.activeSupernodes) / p + 1.0)
+              : static_cast<double>(plan.activeSupernodes);
+    const bool clustersOk = static_cast<double>(plan.sampledClusters) <= clusterBound;
+    const bool edgesOk = static_cast<double>(plan.edgesAdded) <= edgeBound;
+    if (clustersOk && edgesOk) {
+      if (rep > 0) ++stats.iterationsWithRetry;
+      return draw;
+    }
+    if (plan.edgesAdded < bestEdges) {
+      bestEdges = plan.edgesAdded;
+      bestDraw = std::move(draw);
+    }
+  }
+  ++fallbacks_;
+  ++stats.iterationsWithRetry;
+  return bestDraw.empty() ? std::vector<char>(rootActive.size(), 0) : bestDraw;
+}
+
+SpannerResult buildCcSpanner(const Graph& g, const CcSpannerParams& params) {
+  if (params.k <= 1) return identitySpanner(g, "cc-spanner");
+  RepetitionSamplingPolicy policy(params.seed, g.numVertices());
+
+  TradeoffParams tp;
+  tp.k = params.k;
+  tp.t = params.t;
+  tp.seed = params.seed;
+  tp.policy = &policy;
+  SpannerResult result = buildTradeoffSpanner(g, tp);
+  result.algorithm = "cc-spanner";
+  // Theorem 8.1: a constant number of extra clique rounds per iteration
+  // (one broadcast of the O(log n) sampling bits, one tally round).
+  result.cost.chargeCliqueExtra(2 * static_cast<long>(result.iterations));
+  return result;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,65 @@
+// Theorem 8.1: spanner construction in the Congested Clique with a *high
+// probability* (not just expected) size bound.
+//
+// The expected-size analysis of the MPC algorithm rests on two per-iteration
+// events: (1) the number of sampled clusters concentrates around p*|C|
+// (Chernoff), and (2) the number of edges added is O(|C|/p) (Markov, holds
+// with constant probability). Running O(log n) independent samplings per
+// iteration and committing one where both events hold makes the final size
+// bound hold w.h.p. In the clique this costs O(1) extra rounds per
+// iteration: every super-node broadcasts its O(log n) sampling bits in one
+// round, and O(log n) referee nodes tally per-run edge counts.
+//
+// RepetitionSamplingPolicy implements exactly that: it draws up to
+// R = ceil(3 log2 n) candidate samplings, dry-runs the iteration plan for
+// each, and commits the first one satisfying both envelopes (falling back
+// to the minimum-edges draw if none does — never observed in practice, but
+// the algorithm must terminate).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "spanner/engine.hpp"
+#include "spanner/types.hpp"
+
+namespace mpcspan {
+
+/// Acceptance envelopes for one sampling draw (Theorem 8.1's two events).
+struct RepetitionThresholds {
+  double clusterSlack = 2.0;  // sampled <= clusterSlack*p*|C| + logTerm
+  double edgeSlack = 4.0;     // edges   <= edgeSlack*(supernodes/p + 1)
+  double logTerm = 8.0;       // additive O(log n) slack on clusters
+};
+
+class RepetitionSamplingPolicy final : public SamplingPolicy {
+ public:
+  using Thresholds = RepetitionThresholds;
+
+  RepetitionSamplingPolicy(std::uint64_t seed, std::size_t n,
+                           Thresholds thresholds = Thresholds());
+
+  std::vector<char> choose(
+      const std::vector<char>& rootActive, double p, std::uint64_t drawKey,
+      const std::function<IterPlanStats(const std::vector<char>&)>& dryRun,
+      SpannerResult::RepetitionStats& stats) override;
+
+  long fallbacks() const { return fallbacks_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t repetitions_;
+  double logN_;
+  Thresholds thresholds_;
+  long fallbacks_ = 0;
+};
+
+struct CcSpannerParams {
+  std::uint32_t k = 8;
+  std::uint32_t t = 0;  // 0 selects ceil(log2 k), the APSP setting
+  std::uint64_t seed = 1;
+};
+
+/// Builds the Theorem 8.1 spanner; cost.cliqueRounds() includes the O(1)
+/// extra rounds per iteration for the repetition machinery.
+SpannerResult buildCcSpanner(const Graph& g, const CcSpannerParams& params);
+
+}  // namespace mpcspan

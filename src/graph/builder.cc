@@ -1,0 +1,68 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mpcspan {
+
+GraphBuilder::GraphBuilder(std::size_t numVertices) : n_(numVertices) {}
+
+void GraphBuilder::addEdge(VertexId u, VertexId v, Weight w) {
+  if (u >= n_ || v >= n_) throw std::out_of_range("GraphBuilder: vertex id out of range");
+  if (!(w > 0.0) || !std::isfinite(w))
+    throw std::invalid_argument("GraphBuilder: edge weight must be positive and finite");
+  if (u == v) return;  // self-loops contribute nothing to any spanner
+  if (u > v) std::swap(u, v);
+  staged_.push_back(Edge{u, v, w});
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<Edge> edges = staged_;
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;
+  });
+  // Collapse parallel edges, keeping the minimum weight (sorted first).
+  std::vector<Edge> unique;
+  unique.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (!unique.empty() && unique.back().u == e.u && unique.back().v == e.v) continue;
+    unique.push_back(e);
+  }
+
+  Graph g;
+  g.n_ = n_;
+  g.edges_ = std::move(unique);
+  g.unweighted_ = true;
+  for (const Edge& e : g.edges_)
+    if (e.w != 1.0) {
+      g.unweighted_ = false;
+      break;
+    }
+
+  g.offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 0; i < n_; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adj_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adj_[cursor[e.u]++] = Incidence{e.v, id};
+    g.adj_[cursor[e.v]++] = Incidence{e.u, id};
+  }
+  return g;
+}
+
+Graph graphFromEdges(std::size_t numVertices, const std::vector<Edge>& edges) {
+  GraphBuilder b(numVertices);
+  for (const Edge& e : edges) b.addEdge(e.u, e.v, e.w);
+  return b.build();
+}
+
+}  // namespace mpcspan

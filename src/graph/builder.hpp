@@ -1,0 +1,36 @@
+// Mutable staging area for constructing a Graph. Deduplicates parallel edges
+// (keeping the minimum weight, which is the only edge a spanner could ever
+// use) and drops self-loops, so the resulting Graph is always simple.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t numVertices);
+
+  /// Adds an undirected edge; orientation is normalized internally.
+  /// Self-loops are ignored. Weights must be positive and finite.
+  void addEdge(VertexId u, VertexId v, Weight w = 1.0);
+
+  std::size_t numVertices() const { return n_; }
+  std::size_t numStagedEdges() const { return staged_.size(); }
+
+  /// Finalizes into an immutable Graph. Parallel edges collapse to the
+  /// minimum-weight representative. The builder may be reused afterwards.
+  Graph build() const;
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> staged_;
+};
+
+/// Convenience: builds a graph straight from an edge list.
+Graph graphFromEdges(std::size_t numVertices, const std::vector<Edge>& edges);
+
+}  // namespace mpcspan

@@ -1,0 +1,41 @@
+#include "graph/connectivity.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/union_find.hpp"
+
+namespace mpcspan {
+
+std::vector<VertexId> componentLabels(const Graph& g) {
+  UnionFind uf(g.numVertices());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  std::vector<VertexId> label(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) label[v] = uf.find(v);
+  return label;
+}
+
+std::size_t numComponents(const Graph& g) {
+  UnionFind uf(g.numVertices());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.numComponents();
+}
+
+bool sameComponents(const Graph& g, const std::vector<EdgeId>& edgeIds) {
+  UnionFind sub(g.numVertices());
+  for (EdgeId id : edgeIds) sub.unite(g.edge(id).u, g.edge(id).v);
+  // The spanner is a subgraph, so its components refine g's; equality holds
+  // iff every g-edge stays inside one spanner component.
+  for (const Edge& e : g.edges())
+    if (!sub.connected(e.u, e.v)) return false;
+  return true;
+}
+
+Graph subgraph(const Graph& g, const std::vector<EdgeId>& edgeIds) {
+  GraphBuilder b(g.numVertices());
+  for (EdgeId id : edgeIds) {
+    const Edge& e = g.edge(id);
+    b.addEdge(e.u, e.v, e.w);
+  }
+  return b.build();
+}
+
+}  // namespace mpcspan

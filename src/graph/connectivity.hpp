@@ -1,0 +1,23 @@
+// Connectivity helpers: component labelling and the spanning-property check
+// every spanner must satisfy (a spanner preserves connectivity exactly).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+/// Component label per vertex (labels are representative vertex ids).
+std::vector<VertexId> componentLabels(const Graph& g);
+
+std::size_t numComponents(const Graph& g);
+
+/// True if the subgraph formed by `edgeIds` has exactly the same connected
+/// components as g itself.
+bool sameComponents(const Graph& g, const std::vector<EdgeId>& edgeIds);
+
+/// Extracts the subgraph of g containing only `edgeIds` (vertex set kept).
+Graph subgraph(const Graph& g, const std::vector<EdgeId>& edgeIds);
+
+}  // namespace mpcspan

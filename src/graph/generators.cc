@@ -1,0 +1,294 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace mpcspan {
+
+Weight drawWeight(const WeightSpec& spec, Rng& rng) {
+  switch (spec.model) {
+    case WeightModel::kUnit:
+      return 1.0;
+    case WeightModel::kUniform:
+      return rng.uniform(1.0, spec.wMax);
+    case WeightModel::kInteger: {
+      const auto top = static_cast<std::uint64_t>(std::max(1.0, spec.wMax));
+      return 1.0 + static_cast<double>(rng.next(top));
+    }
+    case WeightModel::kExponential: {
+      // Inverse-CDF exponential, truncated so weights stay finite.
+      const double u = std::max(rng.uniform(), 1e-12);
+      const double x = -std::log(u);  // Exp(1)
+      return 1.0 + std::min(x, 40.0) * (spec.wMax / 8.0);
+    }
+  }
+  return 1.0;
+}
+
+namespace {
+std::uint64_t edgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+Graph gnmRandom(std::size_t n, std::size_t m, Rng& rng, const WeightSpec& weights,
+                bool connected) {
+  if (n < 2) return GraphBuilder(n).build();
+  const std::size_t maxEdges = n * (n - 1) / 2;
+  if (m > maxEdges) m = maxEdges;
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  if (connected) {
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId u = static_cast<VertexId>((v + 1) % n);
+      if (seen.insert(edgeKey(v, u)).second) b.addEdge(v, u, drawWeight(weights, rng));
+    }
+  }
+  std::size_t added = 0;
+  // The connected overlay may already occupy some of the maxEdges pairs;
+  // stop when the graph is complete rather than resampling forever.
+  while (added < m && seen.size() < maxEdges) {
+    const auto u = static_cast<VertexId>(rng.next(n));
+    const auto v = static_cast<VertexId>(rng.next(n));
+    if (u == v) continue;
+    if (!seen.insert(edgeKey(u, v)).second) continue;
+    b.addEdge(u, v, drawWeight(weights, rng));
+    ++added;
+  }
+  return b.build();
+}
+
+Graph gnpRandom(std::size_t n, double p, Rng& rng, const WeightSpec& weights) {
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return b.build();
+  if (p >= 1.0) return completeGraph(n, rng, weights);
+  // Geometric skipping over the n*(n-1)/2 potential edges.
+  const double logq = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double u = std::max(rng.uniform(), 1e-300);
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(u) / logq));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn)
+      b.addEdge(static_cast<VertexId>(v), static_cast<VertexId>(w), drawWeight(weights, rng));
+  }
+  return b.build();
+}
+
+Graph barabasiAlbert(std::size_t n, std::size_t attach, Rng& rng, const WeightSpec& weights) {
+  if (attach == 0) attach = 1;
+  if (n < attach + 1) n = attach + 1;
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling a uniform element gives a vertex with
+  // probability proportional to its degree (plus one smoothing entry each).
+  std::vector<VertexId> pool;
+  pool.reserve(2 * n * attach);
+  // Seed clique on the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u)
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      b.addEdge(u, v, drawWeight(weights, rng));
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  for (VertexId v = static_cast<VertexId>(attach + 1); v < n; ++v) {
+    std::unordered_set<VertexId> targets;
+    while (targets.size() < attach) {
+      const VertexId t = pool[rng.next(pool.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      b.addEdge(v, t, drawWeight(weights, rng));
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph grid2d(std::size_t w, std::size_t h, Rng& rng, const WeightSpec& weights, bool torus) {
+  GraphBuilder b(w * h);
+  auto id = [w](std::size_t x, std::size_t y) {
+    return static_cast<VertexId>(y * w + x);
+  };
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) {
+      if (x + 1 < w)
+        b.addEdge(id(x, y), id(x + 1, y), drawWeight(weights, rng));
+      else if (torus && w > 2)
+        b.addEdge(id(x, y), id(0, y), drawWeight(weights, rng));
+      if (y + 1 < h)
+        b.addEdge(id(x, y), id(x, y + 1), drawWeight(weights, rng));
+      else if (torus && h > 2)
+        b.addEdge(id(x, y), id(x, 0), drawWeight(weights, rng));
+    }
+  return b.build();
+}
+
+Graph randomGeometric(std::size_t n, double radius, Rng& rng, bool euclideanWeights) {
+  GraphBuilder b(n);
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.uniform();
+    ys[i] = rng.uniform();
+  }
+  const double r2 = radius * radius;
+  const std::size_t cells = std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / std::max(radius, 1e-6)));
+  std::vector<std::vector<VertexId>> grid(cells * cells);
+  auto cellOf = [&](double x) {
+    auto c = static_cast<std::size_t>(x * static_cast<double>(cells));
+    return std::min(c, cells - 1);
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    grid[cellOf(ys[i]) * cells + cellOf(xs[i])].push_back(static_cast<VertexId>(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cx = cellOf(xs[i]);
+    const std::size_t cy = cellOf(ys[i]);
+    for (std::size_t dy = (cy == 0 ? 0 : cy - 1); dy <= std::min(cy + 1, cells - 1); ++dy)
+      for (std::size_t dx = (cx == 0 ? 0 : cx - 1); dx <= std::min(cx + 1, cells - 1); ++dx)
+        for (VertexId j : grid[dy * cells + dx]) {
+          if (j <= i) continue;
+          const double ddx = xs[i] - xs[j];
+          const double ddy = ys[i] - ys[j];
+          const double d2 = ddx * ddx + ddy * ddy;
+          if (d2 <= r2) {
+            const Weight w = euclideanWeights ? (1e-6 + std::sqrt(d2)) : 1.0;
+            b.addEdge(static_cast<VertexId>(i), j, w);
+          }
+        }
+  }
+  return b.build();
+}
+
+Graph cycleGraph(std::size_t n, Rng& rng, const WeightSpec& weights) {
+  GraphBuilder b(n);
+  if (n >= 3)
+    for (VertexId v = 0; v < n; ++v)
+      b.addEdge(v, static_cast<VertexId>((v + 1) % n), drawWeight(weights, rng));
+  else if (n == 2)
+    b.addEdge(0, 1, drawWeight(weights, rng));
+  return b.build();
+}
+
+Graph pathGraph(std::size_t n, Rng& rng, const WeightSpec& weights) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v)
+    b.addEdge(v, v + 1, drawWeight(weights, rng));
+  return b.build();
+}
+
+Graph starGraph(std::size_t n, Rng& rng, const WeightSpec& weights) {
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.addEdge(0, v, drawWeight(weights, rng));
+  return b.build();
+}
+
+Graph completeGraph(std::size_t n, Rng& rng, const WeightSpec& weights) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.addEdge(u, v, drawWeight(weights, rng));
+  return b.build();
+}
+
+Graph hypercube(std::size_t dims, Rng& rng, const WeightSpec& weights) {
+  const std::size_t n = std::size_t{1} << dims;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t d = 0; d < dims; ++d) {
+      const std::size_t u = v ^ (std::size_t{1} << d);
+      if (u > v) b.addEdge(static_cast<VertexId>(v), static_cast<VertexId>(u),
+                           drawWeight(weights, rng));
+    }
+  return b.build();
+}
+
+Graph wattsStrogatz(std::size_t n, std::size_t nearest, double beta, Rng& rng,
+                    const WeightSpec& weights) {
+  if (nearest % 2 != 0) ++nearest;
+  if (n < nearest + 2) return cycleGraph(n, rng, weights);
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(n * nearest);
+  auto tryAdd = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    return present.insert(edgeKey(u, v)).second;
+  };
+  for (VertexId v = 0; v < n; ++v)
+    for (std::size_t d = 1; d <= nearest / 2; ++d) {
+      VertexId u = static_cast<VertexId>((v + d) % n);
+      if (rng.coin(beta)) {
+        // Rewire to a uniform non-duplicate endpoint; fall back to the ring
+        // edge if the vertex is saturated.
+        for (int tries = 0; tries < 16; ++tries) {
+          const auto cand = static_cast<VertexId>(rng.next(n));
+          if (tryAdd(v, cand)) {
+            b.addEdge(v, cand, drawWeight(weights, rng));
+            u = kNoVertex;
+            break;
+          }
+        }
+        if (u == kNoVertex) continue;
+      }
+      if (tryAdd(v, u)) b.addEdge(v, u, drawWeight(weights, rng));
+    }
+  return b.build();
+}
+
+const char* familyName(Family f) {
+  switch (f) {
+    case Family::kGnm: return "gnm";
+    case Family::kBarabasiAlbert: return "barabasi-albert";
+    case Family::kGrid: return "grid";
+    case Family::kGeometric: return "geometric";
+    case Family::kCycle: return "cycle";
+    case Family::kHypercube: return "hypercube";
+    case Family::kComplete: return "complete";
+  }
+  return "?";
+}
+
+Graph makeFamily(Family f, std::size_t n, double targetAvgDeg, Rng& rng,
+                 const WeightSpec& weights) {
+  switch (f) {
+    case Family::kGnm: {
+      const auto m = static_cast<std::size_t>(static_cast<double>(n) * targetAvgDeg / 2.0);
+      return gnmRandom(n, m, rng, weights, /*connected=*/true);
+    }
+    case Family::kBarabasiAlbert: {
+      const auto attach = std::max<std::size_t>(1, static_cast<std::size_t>(targetAvgDeg / 2.0));
+      return barabasiAlbert(n, attach, rng, weights);
+    }
+    case Family::kGrid: {
+      const auto side = std::max<std::size_t>(2, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+      return grid2d(side, side, rng, weights);
+    }
+    case Family::kGeometric: {
+      // radius tuned so expected degree ~ n * pi * r^2 = targetAvgDeg.
+      const double r = std::sqrt(targetAvgDeg / (3.14159265358979 * static_cast<double>(n)));
+      return randomGeometric(n, r, rng, weights.model != WeightModel::kUnit);
+    }
+    case Family::kCycle:
+      return cycleGraph(n, rng, weights);
+    case Family::kHypercube: {
+      std::size_t d = 1;
+      while ((std::size_t{1} << (d + 1)) <= n) ++d;
+      return hypercube(d, rng, weights);
+    }
+    case Family::kComplete:
+      return completeGraph(n, rng, weights);
+  }
+  return Graph{};
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,83 @@
+// Synthetic graph workloads. The paper's theorems are worst-case over all
+// graphs; the benchmark harness exercises them across families with very
+// different degree/girth/weight structure:
+//   - G(n,m) and G(n,p): the classical sparse/dense random regimes,
+//   - Barabási–Albert: heavy-tailed degrees (the "social network" workload
+//     the MPC literature motivates),
+//   - grid / torus / random geometric: high-girth, spatial ("road network"),
+//   - cycle / path / star / complete / hypercube: structured extremes.
+// Every generator is deterministic given the Rng.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mpcspan {
+
+/// How edge weights are drawn.
+enum class WeightModel {
+  kUnit,         // all weights 1 (unweighted)
+  kUniform,      // uniform real in [1, wMax)
+  kInteger,      // uniform integer in {1, ..., round(wMax)}
+  kExponential,  // 1 + Exp(1) scaled into [1, ~wMax]; heavy right tail
+};
+
+struct WeightSpec {
+  WeightModel model = WeightModel::kUnit;
+  double wMax = 100.0;
+};
+
+/// Draws one weight according to `spec`.
+Weight drawWeight(const WeightSpec& spec, Rng& rng);
+
+/// Erdős–Rényi G(n,m): exactly m distinct edges chosen uniformly (collisions
+/// resampled), optionally overlaid with a Hamiltonian cycle so the graph is
+/// connected ("connected=true" adds n extra edges).
+Graph gnmRandom(std::size_t n, std::size_t m, Rng& rng,
+                const WeightSpec& weights = {}, bool connected = false);
+
+/// Erdős–Rényi G(n,p) by geometric skipping; O(n + m) time.
+Graph gnpRandom(std::size_t n, double p, Rng& rng, const WeightSpec& weights = {});
+
+/// Barabási–Albert preferential attachment; each new vertex attaches
+/// `attach` edges. Yields a connected heavy-tailed graph.
+Graph barabasiAlbert(std::size_t n, std::size_t attach, Rng& rng,
+                     const WeightSpec& weights = {});
+
+/// w x h grid; 4-neighbour connectivity. torus=true wraps both dimensions.
+Graph grid2d(std::size_t w, std::size_t h, Rng& rng,
+             const WeightSpec& weights = {}, bool torus = false);
+
+/// Random geometric graph: n points in the unit square, edges below distance
+/// `radius`, weight = Euclidean distance scaled by weights.wMax (for kUnit
+/// weights the edges are unit). Uses a cell grid; ~O(n + m).
+Graph randomGeometric(std::size_t n, double radius, Rng& rng, bool euclideanWeights = true);
+
+Graph cycleGraph(std::size_t n, Rng& rng, const WeightSpec& weights = {});
+Graph pathGraph(std::size_t n, Rng& rng, const WeightSpec& weights = {});
+Graph starGraph(std::size_t n, Rng& rng, const WeightSpec& weights = {});
+Graph completeGraph(std::size_t n, Rng& rng, const WeightSpec& weights = {});
+
+/// d-dimensional hypercube on 2^d vertices.
+Graph hypercube(std::size_t dims, Rng& rng, const WeightSpec& weights = {});
+
+/// Watts–Strogatz small world: ring lattice where each vertex connects to
+/// its `nearest` nearest neighbours (must be even), each edge rewired with
+/// probability beta. Interpolates between high-girth lattices (beta=0) and
+/// random graphs (beta=1).
+Graph wattsStrogatz(std::size_t n, std::size_t nearest, double beta, Rng& rng,
+                    const WeightSpec& weights = {});
+
+/// Named family selector used by benchmarks and parameterized tests.
+enum class Family { kGnm, kBarabasiAlbert, kGrid, kGeometric, kCycle, kHypercube, kComplete };
+
+const char* familyName(Family f);
+
+/// Builds a graph of roughly n vertices / targetAvgDeg average degree for the
+/// given family (families with fixed structure ignore targetAvgDeg).
+Graph makeFamily(Family f, std::size_t n, double targetAvgDeg, Rng& rng,
+                 const WeightSpec& weights = {});
+
+}  // namespace mpcspan

@@ -1,0 +1,17 @@
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+Weight Graph::totalWeight() const {
+  Weight sum = 0;
+  for (const Edge& e : edges_) sum += e.w;
+  return sum;
+}
+
+Weight Graph::maxWeight() const {
+  Weight best = 0;
+  for (const Edge& e : edges_) best = best > e.w ? best : e.w;
+  return best;
+}
+
+}  // namespace mpcspan

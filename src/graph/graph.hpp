@@ -1,0 +1,83 @@
+// Core graph type: an immutable, weighted, undirected simple graph in CSR
+// (compressed sparse row) form. Every spanner algorithm consumes this type
+// and returns a subset of its edge ids, so edge identity is first-class:
+// edge id e refers to edges()[e], and incidence lists store (neighbour,
+// edge id) pairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpcspan {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = double;
+
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/// An undirected weighted edge with u < v (canonical orientation).
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Half-edge stored in incidence lists: the far endpoint plus the id of the
+/// underlying undirected edge.
+struct Incidence {
+  VertexId to = 0;
+  EdgeId edge = 0;
+};
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t numVertices() const { return n_; }
+  std::size_t numEdges() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Incidence list of v, each entry the far endpoint and edge id.
+  std::span<const Incidence> neighbors(VertexId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Far endpoint of edge e as seen from `from` (which must be an endpoint).
+  VertexId opposite(EdgeId e, VertexId from) const {
+    const Edge& ed = edges_[e];
+    return ed.u == from ? ed.v : ed.u;
+  }
+
+  /// True if every edge has weight exactly 1.
+  bool isUnweighted() const { return unweighted_; }
+
+  /// Total weight of all edges.
+  Weight totalWeight() const;
+
+  /// Maximum edge weight (0 for the empty graph).
+  Weight maxWeight() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::size_t n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> offsets_;  // n_ + 1 entries
+  std::vector<Incidence> adj_;        // 2 * numEdges() entries
+  bool unweighted_ = true;
+};
+
+}  // namespace mpcspan

@@ -1,0 +1,55 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace mpcspan {
+
+void writeEdgeList(const Graph& g, std::ostream& out) {
+  out.precision(17);  // round-trip exact doubles
+  out << "# mpcspan edge list\n";
+  out << "n " << g.numVertices() << "\n";
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << "\n";
+}
+
+Graph readEdgeList(std::istream& in) {
+  std::string line;
+  std::size_t n = 0;
+  bool haveN = false;
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (!haveN) {
+      std::string tag;
+      ss >> tag;
+      if (tag != "n" || !(ss >> n))
+        throw std::runtime_error("edge list: expected header 'n <count>'");
+      haveN = true;
+      continue;
+    }
+    Edge e;
+    if (!(ss >> e.u >> e.v)) throw std::runtime_error("edge list: bad edge line: " + line);
+    if (!(ss >> e.w)) e.w = 1.0;
+    edges.push_back(e);
+  }
+  if (!haveN) throw std::runtime_error("edge list: missing header");
+  return graphFromEdges(n, edges);
+}
+
+void writeEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  writeEdgeList(g, out);
+}
+
+Graph readEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return readEdgeList(in);
+}
+
+}  // namespace mpcspan

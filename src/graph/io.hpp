@@ -1,0 +1,19 @@
+// Plain-text edge-list I/O ("u v w" per line, '#' comments, a leading
+// "n <count>" header fixing the vertex count). Lets examples persist and
+// reload workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+void writeEdgeList(const Graph& g, std::ostream& out);
+Graph readEdgeList(std::istream& in);
+
+void writeEdgeListFile(const Graph& g, const std::string& path);
+Graph readEdgeListFile(const std::string& path);
+
+}  // namespace mpcspan

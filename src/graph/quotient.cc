@@ -1,0 +1,61 @@
+#include "graph/quotient.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace mpcspan {
+
+Quotient quotientGraph(const Graph& g, const std::vector<VertexId>& clusterOf) {
+  Quotient q;
+  q.superOf.assign(g.numVertices(), kNoVertex);
+  // Compact labels into 0..numClasses-1 deterministically (by label value).
+  std::vector<VertexId> labels;
+  labels.reserve(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v)
+    if (clusterOf[v] != kNoVertex) labels.push_back(clusterOf[v]);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  q.numClasses = labels.size();
+  std::unordered_map<VertexId, VertexId> compact;
+  compact.reserve(labels.size() * 2);
+  for (VertexId i = 0; i < labels.size(); ++i) compact.emplace(labels[i], i);
+  for (VertexId v = 0; v < g.numVertices(); ++v)
+    if (clusterOf[v] != kNoVertex) q.superOf[v] = compact.at(clusterOf[v]);
+
+  // Min-weight representative per super-node pair.
+  struct Best {
+    Weight w;
+    EdgeId id;
+  };
+  std::unordered_map<std::uint64_t, Best> best;
+  best.reserve(g.numEdges());
+  for (EdgeId id = 0; id < g.numEdges(); ++id) {
+    const Edge& e = g.edge(id);
+    VertexId a = q.superOf[e.u];
+    VertexId b = q.superOf[e.v];
+    if (a == kNoVertex || b == kNoVertex || a == b) continue;
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto [it, inserted] = best.try_emplace(key, Best{e.w, id});
+    if (!inserted && (e.w < it->second.w ||
+                      (e.w == it->second.w && id < it->second.id)))
+      it->second = Best{e.w, id};
+  }
+
+  GraphBuilder b(q.numClasses);
+  std::vector<std::pair<std::uint64_t, Best>> sorted(best.begin(), best.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  q.representative.reserve(sorted.size());
+  for (const auto& [key, val] : sorted) {
+    b.addEdge(static_cast<VertexId>(key >> 32),
+              static_cast<VertexId>(key & 0xffffffffu), val.w);
+    q.representative.push_back(val.id);
+  }
+  q.graph = b.build();
+  return q;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,26 @@
+// Quotient-graph construction (Definition 5.1): contract a clustering into
+// super-nodes, keep the minimum-weight edge between every super-node pair.
+// The spanner engine performs contractions incrementally on its own state;
+// this standalone helper is the reference implementation used by tests and
+// by the Appendix-B algorithm's recursion on the contracted graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+struct Quotient {
+  Graph graph;                          // super-graph; weights = min over class
+  std::vector<VertexId> superOf;        // original vertex -> super-node id
+  std::vector<EdgeId> representative;   // super-edge id -> original edge id
+  std::size_t numClasses = 0;
+};
+
+/// `clusterOf[v]` assigns each vertex a cluster label (any uint32 values;
+/// vertices labelled kNoVertex are dropped from the quotient). Edges whose
+/// endpoints share a label become self-loops and disappear.
+Quotient quotientGraph(const Graph& g, const std::vector<VertexId>& clusterOf);
+
+}  // namespace mpcspan

@@ -1,0 +1,33 @@
+// Union-find with path halving + union by size. The PRAM section of the
+// paper implements cluster merging "like a union find data structure"; here
+// it backs connectivity checks and the spanning-forest substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mpcspan {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::uint32_t find(std::uint32_t x);
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  bool connected(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  std::size_t numComponents() const { return components_; }
+  std::size_t size() const { return parent_.size(); }
+  std::size_t componentSize(std::uint32_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace mpcspan

@@ -1,0 +1,66 @@
+#include "mpc/cost_model.hpp"
+
+#include <cmath>
+
+namespace mpcspan {
+
+const char* primName(Prim p) {
+  switch (p) {
+    case Prim::kSample: return "sample";
+    case Prim::kFindMin: return "find-min";
+    case Prim::kMerge: return "merge";
+    case Prim::kContraction: return "contraction";
+    case Prim::kSort: return "sort";
+    case Prim::kBroadcast: return "broadcast";
+    case Prim::kExponentiation: return "exponentiation";
+    case Prim::kLocalSim: return "local-sim";
+    case Prim::kCount_: break;
+  }
+  return "?";
+}
+
+void CostModel::charge(Prim p, long count) {
+  counts_[static_cast<std::size_t>(p)] += count;
+}
+
+void CostModel::chargeCliqueExtra(long rounds) { cliqueExtra_ += rounds; }
+
+long CostModel::invocations(Prim p) const {
+  return counts_[static_cast<std::size_t>(p)];
+}
+
+long CostModel::supersteps() const {
+  long total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    if (static_cast<Prim>(i) != Prim::kLocalSim) total += counts_[i];
+  return total;
+}
+
+long CostModel::mpcRounds(double gamma) const {
+  const long perStep = static_cast<long>(std::ceil(1.0 / gamma));
+  return supersteps() * perStep;
+}
+
+long CostModel::nearLinearRounds() const { return supersteps(); }
+
+long CostModel::cliqueRounds() const { return supersteps() + cliqueExtra_; }
+
+void CostModel::absorb(const CostModel& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  cliqueExtra_ += other.cliqueExtra_;
+}
+
+std::string CostModel::ledgerString() const {
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += primName(static_cast<Prim>(i));
+    out += "=";
+    out += std::to_string(counts_[i]);
+  }
+  if (cliqueExtra_ != 0) out += ", clique-extra=" + std::to_string(cliqueExtra_);
+  return out;
+}
+
+}  // namespace mpcspan

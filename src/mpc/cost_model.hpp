@@ -1,0 +1,76 @@
+// Round accounting for the MPC / Congested Clique cost analyses (Section 6,
+// Lemma 6.1, and Section 8 of the paper).
+//
+// The spanner algorithms are written as sequences of *supersteps*, each one
+// of the constant-round distributed subroutines the paper builds on:
+// sort / find-minimum / broadcast ([GSZ11], [DN19]) and the derived
+// clustering / merge / contraction operations (Lemma 6.1). In the strongly
+// sublinear regime every superstep costs O(1/gamma) MPC rounds; in the
+// near-linear regime (and in Congested Clique via [BDH18] semi-MPC
+// simulation) it costs O(1) rounds. The CostModel keeps a per-primitive
+// ledger so benchmarks can report both the superstep count (the paper's
+// "iterations") and converted round counts per regime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mpcspan {
+
+enum class Prim : std::uint8_t {
+  kSample = 0,      // cluster sub-sampling (local coin flips + label update)
+  kFindMin,         // minimum-weight edge per (super-node, cluster) group
+  kMerge,           // cluster merge / label propagation
+  kContraction,     // quotient-graph construction (end of epoch)
+  kSort,            // generic distributed sort invocation
+  kBroadcast,       // one tree broadcast
+  kExponentiation,  // one graph-exponentiation doubling step (Appendix B)
+  kLocalSim,        // local-memory computation (free in rounds, tracked)
+  kCount_,
+};
+
+const char* primName(Prim p);
+
+class CostModel {
+ public:
+  /// Records `count` invocations of primitive p.
+  void charge(Prim p, long count = 1);
+
+  /// Adds Congested-Clique-only extra rounds (e.g. Theorem 8.1's repetition
+  /// selection or Lenzen-routing collection steps).
+  void chargeCliqueExtra(long rounds);
+
+  long invocations(Prim p) const;
+
+  /// Total supersteps (every primitive except kLocalSim).
+  long supersteps() const;
+
+  /// Rounds in the strongly sublinear regime with memory n^gamma per
+  /// machine: ceil(1/gamma) per superstep (Lemma 6.1).
+  long mpcRounds(double gamma) const;
+
+  /// Rounds in the near-linear regime: 1 per superstep.
+  long nearLinearRounds() const;
+
+  /// Congested Clique rounds: 1 per superstep + extras.
+  long cliqueRounds() const;
+
+  /// Dynamic-stream passes (Section 2.4: "a pass corresponds to one round
+  /// of communication in MPC"): 1 per superstep. The t=1 algorithm thus
+  /// gives a log k-pass streaming spanner with stretch k^{log2 3},
+  /// improving [AGM12]'s k^{log2 5} at the same pass count.
+  long streamingPasses() const { return nearLinearRounds(); }
+
+  /// Merges another ledger into this one (used when an algorithm runs a
+  /// sub-algorithm, e.g. Section 3's black-box second phase).
+  void absorb(const CostModel& other);
+
+  std::string ledgerString() const;
+
+ private:
+  std::array<long, static_cast<std::size_t>(Prim::kCount_)> counts_{};
+  long cliqueExtra_ = 0;
+};
+
+}  // namespace mpcspan

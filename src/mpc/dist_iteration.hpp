@@ -1,0 +1,78 @@
+// The spanner iteration's distributed kernel, implemented end-to-end on the
+// word-accurate MPC simulator.
+//
+// One growth iteration of the Section-5 algorithm reduces to two group-by
+// minima over the alive edge set (Section 6 / Lemma 6.1):
+//   (1) per (super-node v, neighbouring cluster c): the minimum-weight edge
+//       in E(v, c)  — Steps B3/B4's candidate edges;
+//   (2) per super-node v: the minimum over (1) restricted to *sampled*
+//       clusters — the closest sampled cluster N(v) (Step B3).
+// Both are realized as distSort by key followed by segmentedMinSorted, i.e.
+// real tuples moving through machines with enforced memory limits.
+//
+// ClusterEngine computes the same quantities host-side for speed; the
+// equivalence test (tests/test_dist_iteration.cc) checks that this
+// distributed kernel reproduces the engine's decisions bit-for-bit, which
+// is the library's evidence that the charged O(1/gamma)-round supersteps
+// are implementable exactly as claimed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/simulator.hpp"
+
+namespace mpcspan {
+
+/// Minimum-weight edge of a (super-node, cluster) group.
+struct GroupMinEdge {
+  VertexId v = 0;        // processing super-node
+  VertexId cluster = 0;  // neighbouring cluster root
+  Weight w = 0;
+  EdgeId id = 0;
+
+  friend bool operator==(const GroupMinEdge&, const GroupMinEdge&) = default;
+};
+
+/// The join decision of one processing super-node (Step B3).
+struct ClosestSampled {
+  VertexId v = 0;
+  VertexId cluster = 0;  // N(v)
+  Weight w = 0;
+  EdgeId id = 0;
+
+  friend bool operator==(const ClosestSampled&, const ClosestSampled&) = default;
+};
+
+struct DistIterationResult {
+  /// (1) sorted by (v, cluster).
+  std::vector<GroupMinEdge> groupMins;
+  /// (2) sorted by v; only super-nodes with >= 1 sampled neighbour appear.
+  std::vector<ClosestSampled> joins;
+  std::size_t roundsUsed = 0;
+};
+
+/// Runs the kernel on `sim` for the iteration state
+/// (clusterOf[s] = cluster root of super-node s, kNoVertex = exited;
+/// sampled[r] marks sampled roots). Edges whose endpoints' clusters are both
+/// sampled or exited produce no candidates, mirroring the engine.
+/// `superOf` maps each original vertex to its current super-node
+/// (kNoVertex = inactive); pass the identity for the first epoch.
+/// `alive` (optional) restricts the candidate edges to the still-unprocessed
+/// ones; nullptr means every edge of g.
+DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
+                                        const std::vector<VertexId>& superOf,
+                                        const std::vector<VertexId>& clusterOf,
+                                        const std::vector<char>& sampled,
+                                        const std::vector<char>* alive = nullptr);
+
+/// Host-side reference implementation (same tie-breaking); used by tests
+/// and by callers that only need the values, not the simulation.
+DistIterationResult referenceIterationKernel(const Graph& g,
+                                             const std::vector<VertexId>& superOf,
+                                             const std::vector<VertexId>& clusterOf,
+                                             const std::vector<char>& sampled,
+                                             const std::vector<char>* alive = nullptr);
+
+}  // namespace mpcspan

@@ -1,0 +1,78 @@
+#include "mpc/primitives.hpp"
+
+#include <algorithm>
+
+namespace mpcspan {
+
+std::size_t treeBroadcastWords(MpcSimulator& sim, const std::vector<Word>& payload) {
+  const std::size_t p = sim.numMachines();
+  if (p <= 1) return 0;
+  // Branching factor: the largest B such that one holder can forward B
+  // copies within its per-round send budget (B=1 degrades to doubling via
+  // one forward per holder per round, still O(log p) rounds).
+  const std::size_t perCopy = std::max<std::size_t>(1, payload.size());
+  if (perCopy > sim.wordsPerMachine())
+    throw CapacityError("treeBroadcastWords: payload exceeds machine memory");
+  const std::size_t branch =
+      std::max<std::size_t>(1, sim.wordsPerMachine() / perCopy);
+
+  std::vector<char> has(p, 0);
+  has[0] = 1;
+  std::size_t holders = 1;
+  std::size_t rounds = 0;
+  while (holders < p) {
+    // Snapshot: only machines that held the payload at the *start* of the
+    // round may forward it this round.
+    const std::vector<char> holderSnapshot = has;
+    std::vector<std::vector<MpcSimulator::Message>> out(p);
+    std::size_t next = 0;
+    for (std::size_t m = 0; m < p && holders < p; ++m) {
+      if (!holderSnapshot[m]) continue;
+      std::size_t fanned = 0;
+      while (fanned < branch && holders < p) {
+        while (next < p && has[next]) ++next;
+        if (next >= p) break;
+        out[m].push_back({next, payload});
+        has[next] = 1;
+        ++holders;
+        ++fanned;
+      }
+    }
+    sim.communicate(std::move(out));
+    ++rounds;
+  }
+  return rounds;
+}
+
+std::vector<std::size_t> prefixCounts(MpcSimulator& sim,
+                                      const std::vector<std::size_t>& counts) {
+  const std::size_t p = sim.numMachines();
+  if (counts.size() != p)
+    throw std::invalid_argument("prefixCounts: counts size mismatch");
+  if (p > sim.wordsPerMachine())
+    throw CapacityError("prefixCounts: too many machines for coordinator scan");
+  if (p <= 1) return std::vector<std::size_t>(p, 0);
+
+  // Round 1: every machine reports its count to the coordinator.
+  std::vector<std::vector<MpcSimulator::Message>> out(p);
+  for (std::size_t m = 0; m < p; ++m)
+    out[m].push_back({0, {static_cast<Word>(counts[m]), static_cast<Word>(m)}});
+  auto inbox = sim.communicate(std::move(out));
+
+  std::vector<std::size_t> gathered(p, 0);
+  const std::vector<Word>& raw = inbox[0];
+  for (std::size_t off = 0; off + 2 <= raw.size(); off += 2)
+    gathered[static_cast<std::size_t>(raw[off + 1])] = static_cast<std::size_t>(raw[off]);
+
+  std::vector<std::size_t> prefix(p, 0);
+  for (std::size_t m = 1; m < p; ++m) prefix[m] = prefix[m - 1] + gathered[m - 1];
+
+  // Round 2: coordinator returns each machine its offset.
+  std::vector<std::vector<MpcSimulator::Message>> back(p);
+  for (std::size_t m = 0; m < p; ++m)
+    back[0].push_back({m, {static_cast<Word>(prefix[m])}});
+  sim.communicate(std::move(back));
+  return prefix;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,310 @@
+// Constant-round MPC primitives on top of MpcSimulator, after [GSZ11] and
+// the aggregation-tree subroutines of [DN19] cited in Section 6:
+//
+//   distSort        — sample sort: local sort, sample to coordinator,
+//                     splitter broadcast down a B-ary tree, one all-to-all
+//                     partition route, local merge. O(1/gamma) rounds.
+//   treeBroadcast   — B-ary broadcast of a payload from machine 0.
+//   prefixCounts    — exclusive prefix sums of per-machine counts
+//                     (coordinator scan; 2 rounds).
+//   segmentedMinSorted — per-key minimum over key-sorted data: local reduce,
+//                     then a coordinator boundary fix-up for keys that span
+//                     machine boundaries. This is the "Find Minimum"
+//                     subroutine the spanner algorithms charge per
+//                     iteration (Lemma 6.1).
+//
+// All primitives move real words through MpcSimulator::communicate, so round
+// counts and capacity violations are genuine, not estimated. Items must be
+// trivially copyable.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "mpc/simulator.hpp"
+
+namespace mpcspan {
+
+template <typename T>
+constexpr std::size_t wordsPerItem() {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return (sizeof(T) + sizeof(Word) - 1) / sizeof(Word);
+}
+
+template <typename T>
+std::vector<Word> packItems(const T* items, std::size_t count) {
+  std::vector<Word> words(count * wordsPerItem<T>(), 0);
+  for (std::size_t i = 0; i < count; ++i)
+    std::memcpy(words.data() + i * wordsPerItem<T>(), items + i, sizeof(T));
+  return words;
+}
+
+template <typename T>
+std::vector<T> unpackItems(const std::vector<Word>& words) {
+  const std::size_t count = words.size() / wordsPerItem<T>();
+  std::vector<T> items(count);
+  for (std::size_t i = 0; i < count; ++i)
+    std::memcpy(&items[i], words.data() + i * wordsPerItem<T>(), sizeof(T));
+  return items;
+}
+
+/// A vector of T sharded in blocks across the simulator's machines.
+template <typename T>
+class DistVector {
+ public:
+  DistVector(MpcSimulator& sim, const std::vector<T>& data)
+      : sim_(&sim), shards_(sim.numMachines()) {
+    const std::size_t capItems =
+        std::max<std::size_t>(1, sim.wordsPerMachine() / (2 * wordsPerItem<T>()));
+    std::size_t cursor = 0;
+    for (std::size_t m = 0; m < shards_.size() && cursor < data.size(); ++m) {
+      const std::size_t take = std::min(capItems, data.size() - cursor);
+      shards_[m].assign(data.begin() + static_cast<std::ptrdiff_t>(cursor),
+                        data.begin() + static_cast<std::ptrdiff_t>(cursor + take));
+      cursor += take;
+    }
+    if (cursor < data.size())
+      throw CapacityError("DistVector: data does not fit in the cluster");
+  }
+
+  MpcSimulator& sim() const { return *sim_; }
+  std::size_t numShards() const { return shards_.size(); }
+  std::vector<std::vector<T>>& shards() { return shards_; }
+  const std::vector<std::vector<T>>& shards() const { return shards_; }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s.size();
+    return total;
+  }
+
+  /// Test/diagnostic helper: concatenates all shards host-side. Charges no
+  /// rounds — never part of a simulated algorithm.
+  std::vector<T> collectHostSide() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for (const auto& s : shards_) out.insert(out.end(), s.begin(), s.end());
+    return out;
+  }
+
+ private:
+  MpcSimulator* sim_;
+  std::vector<std::vector<T>> shards_;
+};
+
+/// Broadcasts `payload` from machine 0 to every machine along a B-ary tree
+/// with the largest branching the capacity allows. Returns rounds used.
+std::size_t treeBroadcastWords(MpcSimulator& sim, const std::vector<Word>& payload);
+
+/// Exclusive prefix sums of per-machine counts via the coordinator
+/// (2 rounds). Requires numMachines <= wordsPerMachine.
+std::vector<std::size_t> prefixCounts(MpcSimulator& sim,
+                                      const std::vector<std::size_t>& counts);
+
+/// Distributed sample sort. cmp must be a strict weak order.
+template <typename T, typename Cmp>
+void distSort(DistVector<T>& dv, Cmp cmp) {
+  MpcSimulator& sim = dv.sim();
+  const std::size_t p = dv.numShards();
+  auto& shards = dv.shards();
+  for (auto& s : shards) std::sort(s.begin(), s.end(), cmp);  // local, free
+  if (p <= 1 || dv.size() <= 1) return;
+  // One-level sample sort: every machine must hold the p-1 splitters.
+  // MpcConfig::forInput guarantees this; hand-built configs must too.
+  if ((p - 1) * wordsPerItem<T>() > sim.wordsPerMachine())
+    throw CapacityError(
+        "distSort: splitter set exceeds machine memory (need wordsPerMachine >= "
+        "numMachines * item words; see MpcConfig::forInput)");
+
+  // Round 1: evenly spaced local samples to the coordinator.
+  const std::size_t perMachineSamples = std::max<std::size_t>(
+      1, std::min<std::size_t>(
+             32, sim.wordsPerMachine() / (wordsPerItem<T>() * p)));
+  std::vector<std::vector<MpcSimulator::Message>> out(p);
+  for (std::size_t m = 0; m < p; ++m) {
+    const auto& s = shards[m];
+    if (s.empty()) continue;
+    std::vector<T> samples;
+    const std::size_t take = std::min(perMachineSamples, s.size());
+    // Uniform random positions, seeded per machine: deterministic per-shard
+    // quantile positions would pool into only `take` distinct quantile
+    // levels across machines — far too coarse when numMachines > take —
+    // and including shard extremes biases the splitters.
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (m * 0xbf58476d1ce4e5b9ULL);
+    for (std::size_t i = 0; i < take; ++i) {
+      h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+      samples.push_back(s[(h >> 33) % s.size()]);
+    }
+    std::sort(samples.begin(), samples.end(), cmp);
+    out[m].push_back({0, packItems(samples.data(), samples.size())});
+  }
+  auto inbox = sim.communicate(std::move(out));
+  std::vector<T> samples = unpackItems<T>(inbox[0]);
+  std::sort(samples.begin(), samples.end(), cmp);
+
+  // Coordinator picks p-1 splitters, broadcasts them down the tree.
+  std::vector<T> splitters;
+  for (std::size_t i = 1; i < p; ++i) {
+    if (samples.empty()) break;
+    splitters.push_back(samples[std::min(samples.size() - 1, i * samples.size() / p)]);
+  }
+  treeBroadcastWords(sim, packItems(splitters.data(), splitters.size()));
+
+  // One all-to-all: shard j receives keys in (splitter[j-1], splitter[j]].
+  std::vector<std::vector<MpcSimulator::Message>> route(p);
+  for (std::size_t m = 0; m < p; ++m) {
+    const auto& s = shards[m];
+    std::size_t begin = 0;
+    for (std::size_t j = 0; j <= splitters.size(); ++j) {
+      std::size_t end;
+      if (j == splitters.size()) {
+        end = s.size();
+      } else {
+        end = static_cast<std::size_t>(
+            std::upper_bound(s.begin() + static_cast<std::ptrdiff_t>(begin), s.end(),
+                             splitters[j], cmp) -
+            s.begin());
+      }
+      if (end > begin)
+        route[m].push_back({j, packItems(s.data() + begin, end - begin)});
+      begin = end;
+    }
+  }
+  inbox = sim.communicate(std::move(route));
+  for (std::size_t m = 0; m < p; ++m) {
+    shards[m] = unpackItems<T>(inbox[m]);
+    std::sort(shards[m].begin(), shards[m].end(), cmp);  // local merge
+  }
+}
+
+/// Per-key minimum over data already key-sorted across machines (machine
+/// order = key order, e.g. right after distSort by key). keyOf maps an item
+/// to a 64-bit key; better(a, b) returns true when a beats b. Returns the
+/// reduced key-sorted sequence (one item per key), collected host-side;
+/// the simulated traffic is the cross-machine boundary fix-up.
+template <typename T, typename KeyOf, typename Better>
+std::vector<T> segmentedMinSorted(DistVector<T>& dv, KeyOf keyOf, Better better) {
+  MpcSimulator& sim = dv.sim();
+  const std::size_t p = dv.numShards();
+  auto& shards = dv.shards();
+
+  // Local reduce (free): one representative per key per machine.
+  std::vector<std::vector<T>> reduced(p);
+  for (std::size_t m = 0; m < p; ++m)
+    for (const T& item : shards[m]) {
+      if (!reduced[m].empty() && keyOf(reduced[m].back()) == keyOf(item)) {
+        if (better(item, reduced[m].back())) reduced[m].back() = item;
+      } else {
+        reduced[m].push_back(item);
+      }
+    }
+
+  if (p > 1) {
+    // Round 1: first/last representative of every non-empty machine to the
+    // coordinator.
+    const std::size_t rec = 2 * wordsPerItem<T>() + 1;
+    if (p * rec > sim.wordsPerMachine())
+      throw CapacityError("segmentedMinSorted: boundary set exceeds capacity");
+    std::vector<std::vector<MpcSimulator::Message>> out(p);
+    for (std::size_t m = 0; m < p; ++m) {
+      if (reduced[m].empty()) continue;
+      std::vector<T> pair{reduced[m].front(), reduced[m].back()};
+      std::vector<Word> payload = packItems(pair.data(), pair.size());
+      payload.push_back(m);
+      out[m].push_back({0, std::move(payload)});
+    }
+    auto inbox = sim.communicate(std::move(out));
+
+    struct Boundary {
+      std::size_t machine;
+      T first, last;
+    };
+    std::vector<Boundary> bounds;
+    const std::vector<Word>& raw = inbox[0];
+    for (std::size_t off = 0; off + rec <= raw.size(); off += rec) {
+      Boundary b;
+      std::memcpy(&b.first, raw.data() + off, sizeof(T));
+      std::memcpy(&b.last, raw.data() + off + wordsPerItem<T>(), sizeof(T));
+      b.machine = static_cast<std::size_t>(raw[off + rec - 1]);
+      bounds.push_back(b);
+    }
+    std::sort(bounds.begin(), bounds.end(),
+              [](const Boundary& a, const Boundary& b) { return a.machine < b.machine; });
+
+    // Resolve key runs that span machine boundaries. Because the data is
+    // key-sorted and the local reduce left one copy per key per machine, a
+    // run over machines m0..mEnd consists of last[m0], first[m0+1], ...,
+    // first[mEnd] (fully-covered middle machines have first == last).
+    struct FixEntry {
+      std::uint64_t key;
+      T winner;
+      bool keepHere;
+    };
+    std::vector<std::vector<FixEntry>> fixes(p);
+    std::size_t i = 0;
+    while (i + 1 < bounds.size()) {
+      const std::uint64_t key = keyOf(bounds[i].last);
+      if (keyOf(bounds[i + 1].first) != key) {
+        ++i;
+        continue;
+      }
+      T winner = bounds[i].last;
+      std::vector<std::size_t> members{i};
+      std::size_t j = i + 1;
+      while (j < bounds.size() && keyOf(bounds[j].first) == key) {
+        members.push_back(j);
+        if (better(bounds[j].first, winner)) winner = bounds[j].first;
+        if (keyOf(bounds[j].last) != key) break;  // run ends inside machine j
+        ++j;
+      }
+      for (std::size_t t : members)
+        fixes[bounds[t].machine].push_back({key, winner, t == i});
+      i = members.back() == i ? i + 1 : members.back();
+    }
+
+    // Round 2: coordinator sends fix-ups back.
+    std::vector<std::vector<MpcSimulator::Message>> back(p);
+    for (std::size_t m = 0; m < p; ++m) {
+      if (fixes[m].empty()) continue;
+      std::vector<Word> payload;
+      for (const FixEntry& f : fixes[m]) {
+        payload.push_back(f.key);
+        payload.push_back(f.keepHere ? 1 : 0);
+        const std::vector<Word> w = packItems(&f.winner, 1);
+        payload.insert(payload.end(), w.begin(), w.end());
+      }
+      back[0].push_back({m, std::move(payload)});
+    }
+    auto inbox2 = sim.communicate(std::move(back));
+
+    // Apply fixes (local compute): the single local copy of the key is
+    // replaced by the winner on exactly one machine and dropped elsewhere.
+    for (std::size_t m = 0; m < p; ++m) {
+      const std::vector<Word>& fw = inbox2[m];
+      const std::size_t frec = 2 + wordsPerItem<T>();
+      for (std::size_t off = 0; off + frec <= fw.size(); off += frec) {
+        const std::uint64_t key = fw[off];
+        const bool keep = fw[off + 1] != 0;
+        T winner;
+        std::memcpy(&winner, fw.data() + off + 2, sizeof(T));
+        auto& r = reduced[m];
+        for (std::size_t idx = 0; idx < r.size(); ++idx)
+          if (keyOf(r[idx]) == key) {
+            if (keep)
+              r[idx] = winner;
+            else
+              r.erase(r.begin() + static_cast<std::ptrdiff_t>(idx));
+            break;
+          }
+      }
+    }
+  }
+
+  std::vector<T> result;
+  for (std::size_t m = 0; m < p; ++m)
+    result.insert(result.end(), reduced[m].begin(), reduced[m].end());
+  return result;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,79 @@
+#include "mpc/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mpcspan {
+
+MpcConfig MpcConfig::forInput(std::size_t inputWords, double gamma, double slack) {
+  MpcConfig cfg;
+  const double nw = static_cast<double>(std::max<std::size_t>(inputWords, 16));
+  cfg.wordsPerMachine =
+      std::max<std::size_t>(16, static_cast<std::size_t>(std::pow(nw, gamma)));
+  cfg.numMachines = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(slack * nw / static_cast<double>(cfg.wordsPerMachine))));
+  // Coordinator-based O(1)-round primitives (one-level sample sort, prefix
+  // scan, boundary fix-up) need every machine to hold O(numMachines) words
+  // (splitter sets, per-machine counters). Enforce S >= 64 * machines (with headroom for sample-sort skew); for
+  // gamma < 1/2 this raises the effective local memory — the multi-level
+  // recursive variants that avoid it cost the same O(1/gamma) rounds, so
+  // round accounting is unaffected.
+  if (cfg.wordsPerMachine < 64 * cfg.numMachines) {
+    cfg.wordsPerMachine = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                std::ceil(std::sqrt(64.0 * slack * nw))));
+    cfg.numMachines = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(slack * nw / static_cast<double>(cfg.wordsPerMachine))));
+  }
+  return cfg;
+}
+
+MpcSimulator::MpcSimulator(MpcConfig cfg) : cfg_(cfg) {
+  if (cfg_.numMachines == 0 || cfg_.wordsPerMachine == 0)
+    throw std::invalid_argument("MpcSimulator: empty configuration");
+}
+
+std::vector<std::vector<Word>> MpcSimulator::communicate(
+    std::vector<std::vector<Message>> outboxes) {
+  if (outboxes.size() != cfg_.numMachines)
+    throw std::invalid_argument("MpcSimulator: outboxes size mismatch");
+
+  std::vector<std::size_t> sent(cfg_.numMachines, 0);
+  std::vector<std::size_t> received(cfg_.numMachines, 0);
+  std::size_t roundWords = 0;
+  for (std::size_t src = 0; src < outboxes.size(); ++src) {
+    for (const Message& msg : outboxes[src]) {
+      if (msg.dst >= cfg_.numMachines)
+        throw std::invalid_argument("MpcSimulator: message to unknown machine");
+      sent[src] += msg.payload.size();
+      received[msg.dst] += msg.payload.size();
+      roundWords += msg.payload.size();
+    }
+  }
+  for (std::size_t i = 0; i < cfg_.numMachines; ++i) {
+    if (sent[i] > cfg_.wordsPerMachine)
+      throw CapacityError("machine " + std::to_string(i) + " sends " +
+                          std::to_string(sent[i]) + " words > capacity " +
+                          std::to_string(cfg_.wordsPerMachine));
+    if (received[i] > cfg_.wordsPerMachine)
+      throw CapacityError("machine " + std::to_string(i) + " receives " +
+                          std::to_string(received[i]) + " words > capacity " +
+                          std::to_string(cfg_.wordsPerMachine));
+  }
+
+  std::vector<std::vector<Word>> inbox(cfg_.numMachines);
+  for (std::size_t src = 0; src < outboxes.size(); ++src)
+    for (Message& msg : outboxes[src]) {
+      auto& in = inbox[msg.dst];
+      in.insert(in.end(), msg.payload.begin(), msg.payload.end());
+    }
+
+  ++rounds_;
+  wordsSent_ += roundWords;
+  maxRoundWords_ = std::max(maxRoundWords_, roundWords);
+  return inbox;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,70 @@
+// Word-accurate MPC machine simulator.
+//
+// Models the [KSV10/GSZ11/BKS13] machine cluster: `numMachines` machines,
+// each with `wordsPerMachine` words of local memory; computation proceeds in
+// synchronous rounds, and in one round no machine may send or receive more
+// words than its memory. The simulator routes messages, enforces those
+// limits (throwing CapacityError on violation — a violation means the
+// *algorithm* breaks the model, so it must be loud), and counts rounds and
+// traffic. The Goodrich-style primitives in primitives.hpp run on top of it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcspan {
+
+using Word = std::uint64_t;
+
+struct MpcConfig {
+  std::size_t numMachines = 0;
+  std::size_t wordsPerMachine = 0;
+
+  /// Machines for input size N with local memory S=N^gamma: S words each,
+  /// ceil(N/S) machines (plus slack factor for intermediate data).
+  static MpcConfig forInput(std::size_t inputWords, double gamma, double slack = 2.0);
+};
+
+class CapacityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class MpcSimulator {
+ public:
+  explicit MpcSimulator(MpcConfig cfg);
+
+  std::size_t numMachines() const { return cfg_.numMachines; }
+  std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
+
+  std::size_t rounds() const { return rounds_; }
+  std::size_t totalWordsSent() const { return wordsSent_; }
+  std::size_t maxRoundWords() const { return maxRoundWords_; }
+
+  /// A message from one machine to another within a single round.
+  struct Message {
+    std::size_t dst;
+    std::vector<Word> payload;
+  };
+
+  /// Executes one synchronous communication round. `outboxes[i]` holds the
+  /// messages machine i sends. Returns the inbox of each machine (payloads
+  /// concatenated in sender order). Enforces per-machine send and receive
+  /// limits of wordsPerMachine.
+  std::vector<std::vector<Word>> communicate(
+      std::vector<std::vector<Message>> outboxes);
+
+  /// Charges `n` rounds without moving data (used when a primitive's round
+  /// structure is simulated at a coarser granularity, e.g. local sorting
+  /// phases that occupy a round boundary).
+  void chargeRounds(std::size_t n) { rounds_ += n; }
+
+ private:
+  MpcConfig cfg_;
+  std::size_t rounds_ = 0;
+  std::size_t wordsSent_ = 0;
+  std::size_t maxRoundWords_ = 0;
+};
+
+}  // namespace mpcspan

@@ -1,0 +1,46 @@
+#include "spanner/sqrtk.hpp"
+
+#include <cmath>
+
+#include "spanner/baswana_sen.hpp"
+
+namespace mpcspan {
+
+SpannerResult buildSqrtKSpanner(const Graph& g, const SqrtKParams& params) {
+  if (params.k <= 1) return identitySpanner(g, "sqrtk");
+
+  const auto t = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::sqrt(static_cast<double>(params.k)))));
+  const double p1 =
+      std::pow(static_cast<double>(std::max<std::size_t>(g.numVertices(), 2)),
+               -1.0 / static_cast<double>(params.k));
+
+  // Epoch 1: t iterations of [BS07] at n^{-1/k}, then contract (the
+  // super-graph G-hat of Section 3).
+  EpochSpec first;
+  first.iterations = t;
+  first.prob = [p1](std::size_t) { return p1; };
+  first.contractAfter = true;
+
+  // Epoch 2: a (2t-1)-spanner on G-hat — t-1 iterations at probability
+  // n-hat^{-1/t}, where n-hat is the contracted size (known only at run
+  // time, hence the callback form).
+  EpochSpec second;
+  second.iterations = t > 1 ? t - 1 : 1;
+  second.prob = [t](std::size_t nHat) {
+    return std::pow(static_cast<double>(std::max<std::size_t>(nHat, 2)),
+                    -1.0 / static_cast<double>(t));
+  };
+  second.contractAfter = false;
+
+  ClusterEngine::Options opts;
+  opts.seed = params.seed;
+  opts.policy = params.policy;
+  ClusterEngine engine(g, params.k, opts);
+  SpannerResult result = engine.run({first, second});
+  result.algorithm = "sqrtk";
+  result.t = t;
+  return result;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,36 @@
+#include "spanner/tradeoff.hpp"
+
+#include <cmath>
+
+#include "spanner/baswana_sen.hpp"
+
+namespace mpcspan {
+
+double tradeoffStretchExponent(std::uint32_t t) {
+  const double td = static_cast<double>(t == 0 ? 1 : t);
+  return std::log(2.0 * td + 1.0) / std::log(td + 1.0);
+}
+
+double tradeoffTheoreticalStretch(std::uint32_t k, std::uint32_t t) {
+  return std::pow(static_cast<double>(k), tradeoffStretchExponent(t));
+}
+
+SpannerResult buildTradeoffSpanner(const Graph& g, const TradeoffParams& params) {
+  if (params.k <= 1) return identitySpanner(g, "tradeoff");
+
+  std::uint32_t t = params.t;
+  if (t == 0)
+    t = static_cast<std::uint32_t>(
+        std::max(1.0, std::ceil(std::log2(static_cast<double>(params.k)))));
+
+  ClusterEngine::Options opts;
+  opts.seed = params.seed;
+  opts.policy = params.policy;
+  ClusterEngine engine(g, params.k, opts);
+  SpannerResult result = engine.run(tradeoffSchedule(g.numVertices(), params.k, t));
+  result.algorithm = "tradeoff";
+  result.t = t;
+  return result;
+}
+
+}  // namespace mpcspan

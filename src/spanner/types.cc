@@ -1,0 +1,14 @@
+#include "spanner/types.hpp"
+
+#include <cmath>
+
+namespace mpcspan {
+
+double SpannerResult::sizeRatio(double denomExtra) const {
+  if (inputVertices == 0 || k == 0) return 0.0;
+  const double n = static_cast<double>(inputVertices);
+  const double denom = std::pow(n, 1.0 + 1.0 / static_cast<double>(k)) * denomExtra;
+  return denom > 0 ? static_cast<double>(edges.size()) / denom : 0.0;
+}
+
+}  // namespace mpcspan

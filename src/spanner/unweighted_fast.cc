@@ -1,0 +1,190 @@
+#include "spanner/unweighted_fast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "graph/distance.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "util/rng.hpp"
+
+namespace mpcspan {
+
+UnweightedFastResult buildUnweightedFastSpanner(const Graph& g,
+                                                const UnweightedFastParams& params) {
+  if (!g.isUnweighted())
+    throw std::invalid_argument("unweighted-fast spanner requires an unweighted graph");
+  if (params.gamma <= 0.0 || params.gamma > 1.0)
+    throw std::invalid_argument("gamma must lie in (0, 1]");
+
+  UnweightedFastResult out;
+  if (params.k <= 1) {
+    out.spanner = identitySpanner(g, "unweighted-fast");
+    return out;
+  }
+
+  const std::size_t n = g.numVertices();
+  const std::uint32_t k = params.k;
+  const std::uint32_t maxHops = 4 * k;
+  SpannerResult& sp = out.spanner;
+  sp.algorithm = "unweighted-fast";
+  sp.k = k;
+  sp.inputVertices = n;
+  sp.inputEdges = g.numEdges();
+  std::vector<char> keep(g.numEdges(), 0);
+
+  // --- 1. Capped ball growing (graph exponentiation) -----------------------
+  const std::size_t cap =
+      params.capOverride != 0
+          ? params.capOverride
+          : static_cast<std::size_t>(std::max(
+                8.0, std::ceil(std::pow(
+                         static_cast<double>(std::max<std::size_t>(n, 2)),
+                         params.gamma / 2.0))));
+  out.ballCap = cap;
+  std::vector<char> sparse(n, 0);
+  for (VertexId v = 0; v < n; ++v)
+    sparse[v] = bfsBall(g, v, maxHops, cap).complete ? 1 : 0;
+  const auto doublingSteps =
+      static_cast<long>(std::ceil(std::log2(static_cast<double>(maxHops) + 1.0)));
+  sp.cost.charge(Prim::kExponentiation, doublingSteps);
+
+  std::vector<VertexId> sparseList, denseList;
+  for (VertexId v = 0; v < n; ++v)
+    (sparse[v] ? sparseList : denseList).push_back(v);
+  out.sparseVertices = sparseList.size();
+  out.denseVertices = denseList.size();
+
+  // --- 2. Sparse side: shared-randomness Baswana–Sen ----------------------
+  // The global hash-coin run equals the union of the local ball simulations
+  // (each ball sees the whole (4k)-hop neighbourhood of its sparse centre,
+  // and sampling depends only on (seed, epoch, iteration, root)). Locality:
+  // the spanning path of a discarded sparse-incident edge has length at most
+  // 2k-1 from the sparse endpoint, so keeping Baswana–Sen edges within 2k
+  // hops of some sparse vertex preserves every such certificate.
+  BaswanaSenParams bsp;
+  bsp.k = k;
+  bsp.seed = params.seed;
+  SpannerResult bs = buildBaswanaSen(g, bsp);
+  {
+    const MultiSourceBfs nearSparse = multiSourceBfs(g, sparseList, 2 * k);
+    for (EdgeId id : bs.edges) {
+      const Edge& e = g.edge(id);
+      if (nearSparse.hops[e.u] != kInfHops || nearSparse.hops[e.v] != kInfHops) {
+        keep[id] = 1;
+        ++out.bsEdgesKept;
+      }
+    }
+  }
+  // Local simulation adds no extra rounds (Appendix B); the randomness
+  // replication is one broadcast.
+  sp.cost.charge(Prim::kBroadcast);
+
+  // --- 3. Dense side: hitting set + BFS forest -----------------------------
+  std::vector<VertexId> assign(n, kNoVertex);
+  std::vector<VertexId> hitting;
+  if (!denseList.empty()) {
+    // Each dense ball holds >= cap vertices, so keeping every vertex with
+    // probability ~4 ln(n)/cap hits each ball w.h.p.
+    const double q = std::min(
+        1.0, 4.0 * std::log(static_cast<double>(std::max<std::size_t>(n, 3))) /
+                 static_cast<double>(cap));
+    for (VertexId v = 0; v < n; ++v) {
+      const std::uint64_t h = mix64(params.seed ^ mix64(0x5b4c6f1du ^ (static_cast<std::uint64_t>(v) << 1)));
+      if (static_cast<double>(h >> 11) * 0x1.0p-53 < q) hitting.push_back(v);
+    }
+    if (hitting.empty()) hitting.push_back(denseList.front());
+    sp.cost.charge(Prim::kSample);
+
+    const MultiSourceBfs fromZ = multiSourceBfs(g, hitting, maxHops);
+    std::vector<char> onPath(n, 0);
+    for (VertexId v : denseList) {
+      if (fromZ.source[v] == kNoVertex) {
+        ++out.unhitDense;
+        continue;
+      }
+      assign[v] = fromZ.source[v];
+      // Add the BFS path v -> Z to the spanner; stop at already-traced
+      // prefixes so each forest edge is added exactly once.
+      VertexId cur = v;
+      while (!onPath[cur] && fromZ.parentEdge[cur] != kNoEdge) {
+        onPath[cur] = 1;
+        const EdgeId pe = fromZ.parentEdge[cur];
+        if (!keep[pe]) {
+          keep[pe] = 1;
+          ++out.forestEdges;
+        }
+        cur = g.opposite(pe, cur);
+      }
+    }
+    sp.cost.charge(Prim::kMerge);  // path/forest labelling
+  }
+  out.hittingSetSize = hitting.size();
+
+  // --- 4. Auxiliary spanner on the hitting set -----------------------------
+  std::uint32_t kz = static_cast<std::uint32_t>(std::ceil(4.0 / params.gamma));
+  kz = std::max<std::uint32_t>(kz, 2);
+  if (!hitting.empty() && !denseList.empty()) {
+    std::vector<VertexId> zIndex(n, kNoVertex);
+    for (VertexId i = 0; i < hitting.size(); ++i) zIndex[hitting[i]] = i;
+
+    // Aux edge (z1,z2) per adjacent dense pair with distinct assignments;
+    // representative = smallest original edge id.
+    std::unordered_map<std::uint64_t, EdgeId> rep;
+    for (EdgeId id = 0; id < g.numEdges(); ++id) {
+      const Edge& e = g.edge(id);
+      if (sparse[e.u] || sparse[e.v]) continue;  // sparse side already covers
+      const VertexId au = assign[e.u];
+      const VertexId av = assign[e.v];
+      if (au == kNoVertex || av == kNoVertex) {
+        // Unhit fallback: keep the edge outright (w.h.p. never taken).
+        if (!keep[id]) keep[id] = 1;
+        continue;
+      }
+      if (au == av) continue;  // spanned through the shared BFS tree
+      VertexId a = zIndex[au];
+      VertexId b = zIndex[av];
+      if (a > b) std::swap(a, b);
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      auto [it, inserted] = rep.try_emplace(key, id);
+      if (!inserted && id < it->second) it->second = id;
+    }
+    out.auxEdges = rep.size();
+
+    if (!rep.empty()) {
+      std::vector<std::pair<std::uint64_t, EdgeId>> auxList(rep.begin(), rep.end());
+      std::sort(auxList.begin(), auxList.end());
+      GraphBuilder ab(hitting.size());
+      for (const auto& [key, origId] : auxList)
+        ab.addEdge(static_cast<VertexId>(key >> 32),
+                   static_cast<VertexId>(key & 0xffffffffu), 1.0);
+      const Graph aux = ab.build();
+      // aux.edges() is sorted by (u,v), matching auxList's order, so aux
+      // edge id i maps back to auxList[i].second.
+      BaswanaSenParams zParams;
+      zParams.k = kz;
+      zParams.seed = params.seed ^ 0x9e3779b97f4a7c15ULL;
+      SpannerResult zs = buildBaswanaSen(aux, zParams);
+      for (EdgeId auxId : zs.edges) keep[auxList[auxId].second] = 1;
+      sp.cost.absorb(zs.cost);
+    }
+  }
+
+  // --- Finalize -------------------------------------------------------------
+  for (EdgeId id = 0; id < g.numEdges(); ++id)
+    if (keep[id]) sp.edges.push_back(id);
+  // Sparse-incident edges: 2k-1. Dense-dense via Z: up to 4k to reach Z on
+  // each side plus (2kz-1) auxiliary hops, each expanding to at most 8k+1
+  // original hops.
+  const double denseBound =
+      8.0 * k + (2.0 * kz - 1.0) * (8.0 * k + 1.0);
+  sp.stretchBound = std::max(2.0 * k - 1.0, denseBound);
+  sp.finalRadius = static_cast<double>(maxHops);
+  sp.epochs = 1;
+  sp.iterations = bs.iterations;
+  return out;
+}
+
+}  // namespace mpcspan

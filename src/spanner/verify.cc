@@ -1,0 +1,103 @@
+#include "spanner/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+#include "graph/distance.hpp"
+#include "util/rng.hpp"
+
+namespace mpcspan {
+
+StretchReport verifySpanner(const Graph& g, const std::vector<EdgeId>& spannerEdges,
+                            double boundHint, const VerifyOptions& opts) {
+  StretchReport report;
+  report.spanning = sameComponents(g, spannerEdges);
+  const Graph h = subgraph(g, spannerEdges);
+
+  std::vector<char> inSpanner(g.numEdges(), 0);
+  for (EdgeId id : spannerEdges) inSpanner[id] = 1;
+
+  // Non-spanner edges, grouped by their u endpoint so one bounded Dijkstra
+  // per distinct source covers all its audited edges.
+  std::vector<EdgeId> toCheck;
+  for (EdgeId id = 0; id < g.numEdges(); ++id)
+    if (!inSpanner[id]) toCheck.push_back(id);
+  Rng rng(opts.seed);
+  if (opts.maxEdgeChecks != 0 && toCheck.size() > opts.maxEdgeChecks) {
+    // Uniform subsample without replacement (partial Fisher–Yates).
+    for (std::size_t i = 0; i < opts.maxEdgeChecks; ++i) {
+      const std::size_t j = i + rng.next(toCheck.size() - i);
+      std::swap(toCheck[i], toCheck[j]);
+    }
+    toCheck.resize(opts.maxEdgeChecks);
+  }
+  std::sort(toCheck.begin(), toCheck.end(), [&](EdgeId a, EdgeId b) {
+    if (g.edge(a).u != g.edge(b).u) return g.edge(a).u < g.edge(b).u;
+    return a < b;
+  });
+
+  double stretchSum = 0.0;
+  std::size_t i = 0;
+  while (i < toCheck.size()) {
+    const VertexId src = g.edge(toCheck[i]).u;
+    std::size_t end = i;
+    Weight maxNeed = 0;
+    while (end < toCheck.size() && g.edge(toCheck[end]).u == src) {
+      maxNeed = std::max(maxNeed, g.edge(toCheck[end]).w);
+      ++end;
+    }
+    const double budget = std::max(boundHint, 4.0) * 2.0 * maxNeed + 1.0;
+    const std::vector<Weight> dist = dijkstraBounded(h, src, budget);
+    for (; i < end; ++i) {
+      const Edge& e = g.edge(toCheck[i]);
+      const double ratio = dist[e.v] == kInfDist
+                               ? std::numeric_limits<double>::infinity()
+                               : dist[e.v] / e.w;
+      report.maxEdgeStretch = std::max(report.maxEdgeStretch, ratio);
+      stretchSum += std::min(ratio, budget / e.w);
+      ++report.edgesChecked;
+      if (ratio > boundHint + 1e-9) ++report.violations;
+    }
+  }
+  if (report.edgesChecked > 0)
+    report.meanEdgeStretch = stretchSum / static_cast<double>(report.edgesChecked);
+
+  // Pairwise audit.
+  if (opts.pairSources > 0 && g.numVertices() > 0) {
+    for (std::size_t s = 0; s < opts.pairSources; ++s) {
+      const auto src = static_cast<VertexId>(rng.next(g.numVertices()));
+      const std::vector<Weight> dg = dijkstra(g, src);
+      const std::vector<Weight> dh = dijkstra(h, src);
+      for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (v == src || dg[v] == kInfDist || dg[v] == 0) continue;
+        const double ratio =
+            dh[v] == kInfDist ? std::numeric_limits<double>::infinity() : dh[v] / dg[v];
+        report.maxPairStretch = std::max(report.maxPairStretch, ratio);
+        ++report.pairsChecked;
+      }
+    }
+  }
+  return report;
+}
+
+double measurePairStretch(const Graph& g, const std::vector<EdgeId>& spannerEdges,
+                          std::size_t sources, std::uint64_t seed) {
+  if (g.numVertices() == 0) return 1.0;
+  const Graph h = subgraph(g, spannerEdges);
+  Rng rng(seed);
+  double worst = 1.0;
+  for (std::size_t s = 0; s < sources; ++s) {
+    const auto src = static_cast<VertexId>(rng.next(g.numVertices()));
+    const std::vector<Weight> dg = dijkstra(g, src);
+    const std::vector<Weight> dh = dijkstra(h, src);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      if (v == src || dg[v] == kInfDist || dg[v] == 0) continue;
+      if (dh[v] == kInfDist) return std::numeric_limits<double>::infinity();
+      worst = std::max(worst, dh[v] / dg[v]);
+    }
+  }
+  return worst;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,46 @@
+// Spanner verification: the empirical side of every stretch/size theorem.
+//
+// A subgraph H of G is a c-spanner iff for every edge (u,v,w) of G,
+// dist_H(u,v) <= c*w — per-edge certificates imply the pairwise property by
+// concatenation, but we audit both: per-edge by bounded Dijkstra on H
+// grouped by source, pairwise by full Dijkstra on G and H from sampled
+// sources.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mpcspan {
+
+struct VerifyOptions {
+  /// Cap on the number of non-spanner edges audited (0 = all).
+  std::size_t maxEdgeChecks = 0;
+  /// Dijkstra sources for the pairwise audit (0 disables it).
+  std::size_t pairSources = 8;
+  std::uint64_t seed = 7;
+};
+
+struct StretchReport {
+  bool spanning = false;        // same connected components as G
+  double maxEdgeStretch = 0.0;  // max over audited edges of dist_H/weight
+  double meanEdgeStretch = 0.0;
+  std::size_t edgesChecked = 0;
+  double maxPairStretch = 0.0;  // max over audited (source, target) pairs
+  std::size_t pairsChecked = 0;
+  std::size_t violations = 0;   // audited edges with stretch > boundHint
+};
+
+/// Audits `spannerEdges` against g. `boundHint` is only used to count
+/// violations (pass the algorithm's certified stretchBound); measurement is
+/// reported regardless.
+StretchReport verifySpanner(const Graph& g, const std::vector<EdgeId>& spannerEdges,
+                            double boundHint, const VerifyOptions& opts = {});
+
+/// Max stretch over sampled vertex pairs only (cheaper; used by benches).
+double measurePairStretch(const Graph& g, const std::vector<EdgeId>& spannerEdges,
+                          std::size_t sources, std::uint64_t seed);
+
+}  // namespace mpcspan

@@ -1,0 +1,91 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mpcspan {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::flag(const std::string& name, const std::string& defaultValue,
+                           const std::string& help) {
+  if (specs_.emplace(name, Spec{defaultValue, help}).second) order_.push_back(name);
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      helpRequested_ = true;
+      return true;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    bool haveValue = false;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      haveValue = true;
+    }
+    const auto it = specs_.find(arg);
+    if (it == specs_.end()) {
+      error_ = "unknown flag: --" + arg;
+      return false;
+    }
+    if (!haveValue) {
+      // "--flag value" unless the next token is another flag (boolean form).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto v = values_.find(name);
+  if (v != values_.end()) return v->second;
+  const auto s = specs_.find(name);
+  if (s == specs_.end()) throw std::invalid_argument("unregistered flag: " + name);
+  return s->second.defaultValue;
+}
+
+std::int64_t ArgParser::getInt(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool ArgParser::getBool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string ArgParser::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nflags:\n";
+  for (const std::string& name : order_) {
+    const Spec& s = specs_.at(name);
+    out += "  --" + name;
+    if (!s.defaultValue.empty()) out += " (default: " + s.defaultValue + ")";
+    out += "\n      " + s.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <vector>
+
+namespace mpcspan {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+
+std::string formatLog(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.assign(buf.data(), static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+void logImpl(LogLevel level, const char* file, int line, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %s:%d: %s\n",
+               kNames[static_cast<int>(level)], file, line, msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace mpcspan

@@ -1,0 +1,32 @@
+// Minimal leveled logging. Disabled below the configured level at runtime;
+// all call sites go through MPCSPAN_LOG so verbose algorithm tracing can stay
+// in the code without polluting benchmark output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mpcspan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+void logImpl(LogLevel level, const char* file, int line, const std::string& msg);
+std::string formatLog(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace mpcspan
+
+#define MPCSPAN_LOG(level, ...)                                              \
+  do {                                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::mpcspan::logLevel()))  \
+      ::mpcspan::detail::logImpl(level, __FILE__, __LINE__,                  \
+                                 ::mpcspan::detail::formatLog(__VA_ARGS__)); \
+  } while (0)
+
+#define MPCSPAN_DEBUG(...) MPCSPAN_LOG(::mpcspan::LogLevel::kDebug, __VA_ARGS__)
+#define MPCSPAN_INFO(...) MPCSPAN_LOG(::mpcspan::LogLevel::kInfo, __VA_ARGS__)
+#define MPCSPAN_WARN(...) MPCSPAN_LOG(::mpcspan::LogLevel::kWarn, __VA_ARGS__)

@@ -1,0 +1,60 @@
+// Deterministic, seedable random number generation.
+//
+// All randomized algorithms in this library (cluster sampling, hitting sets,
+// graph generators) draw from Rng so that every experiment is reproducible
+// from a single 64-bit seed. The generator is xoshiro256**, seeded through
+// SplitMix64 as recommended by its authors; both are implemented here from
+// the public-domain reference algorithms so the library has no dependency on
+// platform-specific std::random_engine behaviour.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mpcspan {
+
+/// SplitMix64 step; used for seeding and for cheap per-key hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix (Stafford variant 13). Used to derive independent
+/// per-vertex randomness from (seed, vertex, epoch) triples, which is how the
+/// Appendix-B algorithm shares "the same randomness for each vertex" across
+/// all locally simulated balls.
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling (Lemire's method) to avoid modulo bias.
+  std::uint64_t next(std::uint64_t bound);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool coin(double p);
+
+  /// Derive an independent child generator; stream `i` of this seed.
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace mpcspan

@@ -1,0 +1,46 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcspan {
+
+double percentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double x : sorted) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(sq / static_cast<double>(s.count - 1)) : 0.0;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentileSorted(sorted, 0.50);
+  s.p90 = percentileSorted(sorted, 0.90);
+  s.p99 = percentileSorted(sorted, 0.99);
+  return s;
+}
+
+double geometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double logSum = 0.0;
+  for (double x : xs) logSum += std::log(x);
+  return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,32 @@
+// Small descriptive-statistics helpers used by the benchmark harness and by
+// tests that audit distributions (stretch ratios, cluster counts, ...).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpcspan {
+
+/// Summary of a sample: count, mean, min/max, selected percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary; copies and sorts internally. Empty input yields a
+/// zeroed Summary.
+Summary summarize(const std::vector<double>& xs);
+
+/// Percentile by linear interpolation on a *sorted* sample; q in [0,1].
+double percentileSorted(const std::vector<double>& sorted, double q);
+
+/// Geometric mean; all inputs must be > 0. Empty input yields 0.
+double geometricMean(const std::vector<double>& xs);
+
+}  // namespace mpcspan

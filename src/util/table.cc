@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace mpcspan {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::header(std::vector<std::string> names) { header_ = std::move(names); }
+
+void Table::addRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+std::string Table::num(long v) { return std::to_string(v); }
+std::string Table::num(int v) { return std::to_string(v); }
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::fprintf(out, "\n== %s ==\n", title_.c_str());
+  auto printRow = [&](const std::vector<std::string>& row) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, " %-*s |", static_cast<int>(width[c]), row[c].c_str());
+    std::fputc('\n', out);
+  };
+  printRow(header_);
+  std::fputc('|', out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    for (std::size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+    std::fputc('|', out);
+  }
+  std::fputc('\n', out);
+  for (const auto& row : rows_) printRow(row);
+  std::fflush(out);
+}
+
+}  // namespace mpcspan

@@ -1,0 +1,37 @@
+// Markdown-style table printer for the benchmark harness. Each bench binary
+// reproduces one table/figure of the paper; printing goes through this class
+// so that every binary emits the same machine-greppable format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpcspan {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Sets column headers; must be called before addRow.
+  void header(std::vector<std::string> names);
+
+  /// Adds a row of preformatted cells; size must match header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders the table (title, header, separator, rows) to `out`.
+  void print(std::FILE* out = stdout) const;
+
+  /// Formats a double with `prec` significant-looking decimals.
+  static std::string num(double v, int prec = 3);
+  static std::string num(std::size_t v);
+  static std::string num(long v);
+  static std::string num(int v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpcspan

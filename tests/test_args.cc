@@ -1,0 +1,92 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcspan {
+namespace {
+
+ArgParser makeParser() {
+  ArgParser p("tool", "test tool");
+  p.flag("name", "default", "a string")
+      .flag("count", "7", "an int")
+      .flag("ratio", "0.5", "a double")
+      .flag("on", "false", "a bool");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "tool");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApplyWhenUnset) {
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("name"), "default");
+  EXPECT_EQ(p.getInt("count"), 7);
+  EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+  EXPECT_FALSE(p.getBool("on"));
+  EXPECT_FALSE(p.has("name"));
+}
+
+TEST(Args, EqualsForm) {
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {"--name=alice", "--count=42"}));
+  EXPECT_EQ(p.get("name"), "alice");
+  EXPECT_EQ(p.getInt("count"), 42);
+  EXPECT_TRUE(p.has("name"));
+}
+
+TEST(Args, SpaceForm) {
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {"--name", "bob", "--ratio", "2.25"}));
+  EXPECT_EQ(p.get("name"), "bob");
+  EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 2.25);
+}
+
+TEST(Args, BooleanShortForm) {
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {"--on", "--name=x"}));
+  EXPECT_TRUE(p.getBool("on"));
+  EXPECT_EQ(p.get("name"), "x");
+}
+
+TEST(Args, BoolAcceptsSeveralSpellings) {
+  for (const char* v : {"true", "1", "yes", "on"}) {
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parse(p, {"--on", v}));
+    EXPECT_TRUE(p.getBool("on")) << v;
+  }
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {"--on", "false"}));
+  EXPECT_FALSE(p.getBool("on"));
+}
+
+TEST(Args, UnknownFlagRejected) {
+  ArgParser p = makeParser();
+  EXPECT_FALSE(parse(p, {"--bogus=1"}));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(Args, PositionalRejected) {
+  ArgParser p = makeParser();
+  EXPECT_FALSE(parse(p, {"stray"}));
+}
+
+TEST(Args, HelpRequested) {
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {"--help"}));
+  EXPECT_TRUE(p.helpRequested());
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("--count"), std::string::npos);
+  EXPECT_NE(u.find("an int"), std::string::npos);
+}
+
+TEST(Args, UnregisteredGetThrows) {
+  ArgParser p = makeParser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_THROW(p.get("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,101 @@
+#include "spanner/baswana_sen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(BaswanaSen, StretchBoundIs2kMinus1) {
+  Rng rng(1);
+  const Graph g = gnmRandom(100, 300, rng, {}, true);
+  for (std::uint32_t k : {2u, 3u, 5u}) {
+    const auto r = buildBaswanaSen(g, {.k = k, .seed = 1});
+    EXPECT_DOUBLE_EQ(r.stretchBound, 2.0 * k - 1.0);
+  }
+}
+
+TEST(BaswanaSen, FullEdgeAuditUnweighted) {
+  Rng rng(2);
+  const Graph g = gnmRandom(256, 1200, rng, {}, true);
+  for (std::uint32_t k : {2u, 3u, 4u}) {
+    const auto r = buildBaswanaSen(g, {.k = k, .seed = 7});
+    const auto report = verifySpanner(g, r.edges, r.stretchBound);
+    EXPECT_TRUE(report.spanning);
+    EXPECT_EQ(report.violations, 0u) << "k=" << k << " maxStretch=" << report.maxEdgeStretch;
+    EXPECT_LE(report.maxEdgeStretch, 2.0 * k - 1.0 + 1e-9);
+  }
+}
+
+TEST(BaswanaSen, FullEdgeAuditWeighted) {
+  Rng rng(3);
+  const Graph g =
+      gnmRandom(256, 1200, rng, {WeightModel::kUniform, 100.0}, true);
+  for (std::uint32_t k : {2u, 4u}) {
+    const auto r = buildBaswanaSen(g, {.k = k, .seed = 11});
+    const auto report = verifySpanner(g, r.edges, r.stretchBound);
+    EXPECT_TRUE(report.spanning);
+    EXPECT_EQ(report.violations, 0u) << "k=" << k;
+  }
+}
+
+TEST(BaswanaSen, SizeNearTheoreticalBound) {
+  Rng rng(4);
+  const std::size_t n = 2000;
+  const Graph g = gnmRandom(n, 20000, rng, {WeightModel::kUniform, 10.0}, true);
+  for (std::uint32_t k : {2u, 3u, 4u, 6u}) {
+    const auto r = buildBaswanaSen(g, {.k = k, .seed = 5});
+    // E[size] = O(k * n^{1+1/k}); allow generous constant 4.
+    const double bound = 4.0 * k *
+                         std::pow(static_cast<double>(n),
+                                  1.0 + 1.0 / static_cast<double>(k));
+    EXPECT_LT(static_cast<double>(r.edges.size()), bound) << "k=" << k;
+    // A spanner is never larger than the graph.
+    EXPECT_LE(r.edges.size(), g.numEdges());
+  }
+}
+
+TEST(BaswanaSen, IterationCountIsKMinus1) {
+  Rng rng(5);
+  const Graph g = gnmRandom(200, 800, rng, {}, true);
+  for (std::uint32_t k : {2u, 5u, 9u}) {
+    const auto r = buildBaswanaSen(g, {.k = k, .seed = 2});
+    EXPECT_EQ(r.iterations, static_cast<std::size_t>(k - 1));
+    EXPECT_EQ(r.epochs, 1u);
+  }
+}
+
+TEST(BaswanaSen, SparsifiesDenseGraphs) {
+  Rng rng(6);
+  const Graph g = completeGraph(128, rng, {WeightModel::kUniform, 4.0});
+  const auto r = buildBaswanaSen(g, {.k = 3, .seed = 3});
+  // K_128 has 8128 edges; a 5-spanner should be far smaller.
+  EXPECT_LT(r.edges.size(), g.numEdges() / 3);
+  const auto report = verifySpanner(g, r.edges, r.stretchBound,
+                                    {.maxEdgeChecks = 2000, .pairSources = 4});
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(BaswanaSen, TreePreservedExactly) {
+  // On a tree every edge is a bridge, so the spanner must contain all edges.
+  Rng rng(7);
+  const Graph g = pathGraph(64, rng, {WeightModel::kUniform, 9.0});
+  const auto r = buildBaswanaSen(g, {.k = 4, .seed = 9});
+  EXPECT_EQ(r.edges.size(), g.numEdges());
+}
+
+TEST(BaswanaSen, HighGirthCycleKeepsAllEdgesForSmallK) {
+  // A long cycle has girth n; for 2k-1 < n-1 no edge can be dropped.
+  Rng rng(8);
+  const Graph g = cycleGraph(100, rng);
+  const auto r = buildBaswanaSen(g, {.k = 3, .seed = 4});
+  EXPECT_EQ(r.edges.size(), g.numEdges());
+}
+
+}  // namespace
+}  // namespace mpcspan

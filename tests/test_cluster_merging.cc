@@ -1,0 +1,82 @@
+#include "spanner/cluster_merging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(ClusterMerging, RunsLogKEpochsOfOneIteration) {
+  Rng rng(1);
+  const Graph g = gnmRandom(400, 1600, rng, {}, true);
+  for (std::uint32_t k : {4u, 8u, 16u, 32u}) {
+    const auto r = buildClusterMergingSpanner(g, {.k = k, .seed = 1});
+    const auto expected =
+        static_cast<std::size_t>(std::ceil(std::log2(static_cast<double>(k))));
+    EXPECT_EQ(r.epochs, expected) << "k=" << k;
+    EXPECT_EQ(r.iterations, expected);
+    EXPECT_EQ(r.t, 1u);
+  }
+}
+
+TEST(ClusterMerging, RadiusMatchesSection4) {
+  // Theorem 4.8: radius (3^i - 1)/2 after i epochs.
+  Rng rng(2);
+  const Graph g = gnmRandom(300, 1500, rng, {}, true);
+  const auto r = buildClusterMergingSpanner(g, {.k = 16, .seed = 2});
+  EXPECT_DOUBLE_EQ(r.finalRadius,
+                   (std::pow(3.0, static_cast<double>(r.epochs)) - 1.0) / 2.0);
+}
+
+TEST(ClusterMerging, CertifiedStretchHolds) {
+  Rng rng(3);
+  const Graph g = gnmRandom(400, 2000, rng, {WeightModel::kUniform, 20.0}, true);
+  const auto r = buildClusterMergingSpanner(g, {.k = 8, .seed = 3});
+  const auto report = verifySpanner(g, r.edges, r.stretchBound);
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u) << "max stretch " << report.maxEdgeStretch
+                                   << " vs bound " << r.stretchBound;
+}
+
+TEST(ClusterMerging, StretchNearKlog3NotWorse) {
+  // The paper's asymptotic stretch is k^{log2 3}; the certified per-run
+  // bound 4r+2+chain is a constant factor above it. Check the relationship.
+  Rng rng(4);
+  const Graph g = gnmRandom(300, 1200, rng, {}, true);
+  for (std::uint32_t k : {4u, 16u, 64u}) {
+    const auto r = buildClusterMergingSpanner(g, {.k = k, .seed = 4});
+    const double klog3 = std::pow(static_cast<double>(k), std::log2(3.0));
+    EXPECT_LE(r.stretchBound, 8.0 * klog3 + 10.0) << "k=" << k;
+  }
+}
+
+TEST(ClusterMerging, SamplingProbsFollowDoubleExponential) {
+  Rng rng(5);
+  const Graph g = gnmRandom(500, 2000, rng, {}, true);
+  const auto r = buildClusterMergingSpanner(g, {.k = 16, .seed = 5});
+  const double n = static_cast<double>(g.numVertices());
+  ASSERT_EQ(r.samplingProbs.size(), r.epochs);
+  for (std::size_t i = 0; i < r.epochs; ++i)
+    EXPECT_NEAR(r.samplingProbs[i],
+                std::pow(n, -std::pow(2.0, static_cast<double>(i)) / 16.0), 1e-12);
+}
+
+TEST(ClusterMerging, DenseGraphSizeWithinBound) {
+  Rng rng(6);
+  const std::size_t n = 1024;
+  const Graph g = gnmRandom(n, 16000, rng, {WeightModel::kUniform, 5.0}, true);
+  for (std::uint32_t k : {4u, 8u}) {
+    const auto r = buildClusterMergingSpanner(g, {.k = k, .seed = 6});
+    const double logk = std::log2(static_cast<double>(k));
+    const double bound =
+        6.0 * std::pow(static_cast<double>(n), 1.0 + 1.0 / k) * (logk + 1.0);
+    EXPECT_LT(static_cast<double>(r.edges.size()), bound) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,73 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.numComponents(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.numComponents(), 4u);
+  uf.unite(2, 3);
+  uf.unite(0, 3);
+  EXPECT_TRUE(uf.connected(1, 2));
+  EXPECT_EQ(uf.numComponents(), 2u);
+  EXPECT_EQ(uf.componentSize(1), 4u);
+}
+
+TEST(UnionFind, FindIsIdempotent) {
+  UnionFind uf(10);
+  for (std::uint32_t i = 0; i + 1 < 10; ++i) uf.unite(i, i + 1);
+  const auto r = uf.find(0);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(uf.find(i), r);
+}
+
+TEST(Connectivity, ComponentLabels) {
+  GraphBuilder b(6);
+  b.addEdge(0, 1);
+  b.addEdge(1, 2);
+  b.addEdge(3, 4);
+  const Graph g = b.build();
+  const auto labels = componentLabels(g);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_EQ(numComponents(g), 3u);
+}
+
+TEST(Connectivity, SameComponentsDetectsBreak) {
+  Rng rng(1);
+  const Graph g = cycleGraph(8, rng);
+  std::vector<EdgeId> all(g.numEdges());
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_TRUE(sameComponents(g, all));
+  // A cycle minus one edge still spans.
+  std::vector<EdgeId> minusOne(all.begin() + 1, all.end());
+  EXPECT_TRUE(sameComponents(g, minusOne));
+  // Minus two edges splits the cycle.
+  std::vector<EdgeId> minusTwo(all.begin() + 2, all.end());
+  EXPECT_FALSE(sameComponents(g, minusTwo));
+}
+
+TEST(Connectivity, SubgraphKeepsVertexSet) {
+  Rng rng(2);
+  const Graph g = gnmRandom(50, 120, rng);
+  const Graph h = subgraph(g, {0, 1, 2});
+  EXPECT_EQ(h.numVertices(), 50u);
+  EXPECT_EQ(h.numEdges(), 3u);
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,75 @@
+#include "mpc/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcspan {
+namespace {
+
+TEST(CostModel, StartsEmpty) {
+  const CostModel c;
+  EXPECT_EQ(c.supersteps(), 0);
+  EXPECT_EQ(c.mpcRounds(0.5), 0);
+  EXPECT_EQ(c.cliqueRounds(), 0);
+}
+
+TEST(CostModel, ChargesAndConverts) {
+  CostModel c;
+  c.charge(Prim::kSample);
+  c.charge(Prim::kFindMin, 3);
+  c.charge(Prim::kMerge);
+  EXPECT_EQ(c.supersteps(), 5);
+  EXPECT_EQ(c.nearLinearRounds(), 5);
+  // gamma = 0.25 -> ceil(1/0.25) = 4 rounds per superstep.
+  EXPECT_EQ(c.mpcRounds(0.25), 20);
+  EXPECT_EQ(c.mpcRounds(0.5), 10);
+  EXPECT_EQ(c.mpcRounds(1.0), 5);
+  // gamma = 0.3 -> ceil(3.33) = 4.
+  EXPECT_EQ(c.mpcRounds(0.3), 20);
+}
+
+TEST(CostModel, LocalSimIsFree) {
+  CostModel c;
+  c.charge(Prim::kLocalSim, 100);
+  EXPECT_EQ(c.supersteps(), 0);
+  EXPECT_EQ(c.invocations(Prim::kLocalSim), 100);
+}
+
+TEST(CostModel, CliqueExtraOnlyAffectsClique) {
+  CostModel c;
+  c.charge(Prim::kSample, 2);
+  c.chargeCliqueExtra(7);
+  EXPECT_EQ(c.cliqueRounds(), 9);
+  EXPECT_EQ(c.nearLinearRounds(), 2);
+  EXPECT_EQ(c.mpcRounds(0.5), 4);
+}
+
+TEST(CostModel, AbsorbMergesLedgers) {
+  CostModel a, b;
+  a.charge(Prim::kSort, 2);
+  b.charge(Prim::kSort, 3);
+  b.charge(Prim::kBroadcast);
+  b.chargeCliqueExtra(1);
+  a.absorb(b);
+  EXPECT_EQ(a.invocations(Prim::kSort), 5);
+  EXPECT_EQ(a.invocations(Prim::kBroadcast), 1);
+  EXPECT_EQ(a.cliqueRounds(), 7);
+}
+
+TEST(CostModel, LedgerStringListsNonZero) {
+  CostModel c;
+  c.charge(Prim::kContraction, 2);
+  c.charge(Prim::kSample);
+  const std::string s = c.ledgerString();
+  EXPECT_NE(s.find("contraction=2"), std::string::npos);
+  EXPECT_NE(s.find("sample=1"), std::string::npos);
+  EXPECT_EQ(s.find("sort"), std::string::npos);
+}
+
+TEST(CostModel, PrimNamesAreStable) {
+  EXPECT_STREQ(primName(Prim::kSample), "sample");
+  EXPECT_STREQ(primName(Prim::kContraction), "contraction");
+  EXPECT_STREQ(primName(Prim::kExponentiation), "exponentiation");
+}
+
+}  // namespace
+}  // namespace mpcspan

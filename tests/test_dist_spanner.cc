@@ -1,0 +1,115 @@
+// Bit-exact equivalence: the fully distributed Baswana-Sen (every find-min
+// through real simulated machine rounds) must output the identical spanner
+// to the host-side ClusterEngine under the same seed.
+#include "mpc/dist_spanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+class DistSpannerEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t, int>> {};
+
+TEST_P(DistSpannerEquivalence, MatchesEngineExactly) {
+  const auto [k, seed, weighted] = GetParam();
+  Rng rng(seed * 97 + k);
+  const WeightSpec weights = weighted ? WeightSpec{WeightModel::kUniform, 25.0}
+                                      : WeightSpec{};
+  const Graph g = gnmRandom(400, 2000, rng, weights, true);
+
+  MpcSimulator sim(MpcConfig::forInput(8 * g.numEdges(), 0.6, 3.0));
+  const DistSpannerResult dist = buildDistributedBaswanaSen(sim, g, k, seed);
+  const SpannerResult engine = buildBaswanaSen(g, {.k = k, .seed = seed});
+
+  EXPECT_EQ(dist.edges, engine.edges)
+      << "k=" << k << " seed=" << seed << " weighted=" << weighted;
+  EXPECT_EQ(dist.iterations, engine.iterations);
+  EXPECT_GT(dist.simulatorRounds, 0u);
+  // O(1) communication rounds per iteration: 2 kernels' worth of
+  // sort+reduce, ~8 rounds each, plus phase 2.
+  EXPECT_LE(dist.simulatorRounds, 16u * (k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistSpannerEquivalence,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 6u),
+                       ::testing::Values<std::uint64_t>(1, 5),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_wt" : "_unit");
+    });
+
+class DistTradeoffEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(DistTradeoffEquivalence, MatchesEngineExactlyWithContractions) {
+  const auto [k, t, seed] = GetParam();
+  Rng rng(seed * 31 + k + t);
+  const Graph g = gnmRandom(400, 2400, rng, {WeightModel::kUniform, 40.0}, true);
+
+  MpcSimulator sim(MpcConfig::forInput(8 * g.numEdges(), 0.6, 3.0));
+  const DistSpannerResult dist = buildDistributedTradeoff(sim, g, k, t, seed);
+  TradeoffParams p;
+  p.k = k;
+  p.t = t;
+  p.seed = seed;
+  const SpannerResult engine = buildTradeoffSpanner(g, p);
+
+  EXPECT_EQ(dist.edges, engine.edges) << "k=" << k << " t=" << t << " seed=" << seed;
+  EXPECT_EQ(dist.iterations, engine.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistTradeoffEquivalence,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u), ::testing::Values(1u, 2u, 3u),
+                       ::testing::Values<std::uint64_t>(3, 11)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(DistSpanner, KOneReturnsAllEdges) {
+  Rng rng(1);
+  const Graph g = gnmRandom(50, 120, rng);
+  MpcSimulator sim(MpcConfig::forInput(8 * g.numEdges(), 0.6, 3.0));
+  const auto r = buildDistributedBaswanaSen(sim, g, 1, 1);
+  EXPECT_EQ(r.edges.size(), g.numEdges());
+  EXPECT_EQ(r.simulatorRounds, 0u);
+}
+
+TEST(DistSpanner, OutputIsAValidSpanner) {
+  Rng rng(2);
+  const Graph g = gnmRandom(300, 1800, rng, {WeightModel::kExponential, 40.0}, true);
+  MpcSimulator sim(MpcConfig::forInput(8 * g.numEdges(), 0.6, 3.0));
+  const std::uint32_t k = 4;
+  const auto r = buildDistributedBaswanaSen(sim, g, k, 7);
+  const auto report = verifySpanner(g, r.edges, 2.0 * k - 1.0);
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(DistSpanner, RoundsScaleWithKNotN) {
+  Rng rng(3);
+  const Graph small = gnmRandom(200, 1000, rng, {}, true);
+  const Graph large = gnmRandom(1600, 8000, rng, {}, true);
+  MpcSimulator simSmall(MpcConfig::forInput(8 * small.numEdges(), 0.6, 3.0));
+  MpcSimulator simLarge(MpcConfig::forInput(8 * large.numEdges(), 0.6, 3.0));
+  const auto rs = buildDistributedBaswanaSen(simSmall, small, 4, 9);
+  const auto rl = buildDistributedBaswanaSen(simLarge, large, 4, 9);
+  // 8x more data, same number of communication rounds (within slack: round
+  // counts vary by +-1 with the broadcast fan-out).
+  EXPECT_LE(rl.simulatorRounds, rs.simulatorRounds + 8);
+}
+
+}  // namespace
+}  // namespace mpcspan

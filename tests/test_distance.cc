@@ -1,0 +1,142 @@
+#include "graph/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mpcspan {
+namespace {
+
+Graph diamond() {
+  // 0-1 (1), 0-2 (4), 1-2 (1), 2-3 (1), 1-3 (5)
+  GraphBuilder b(4);
+  b.addEdge(0, 1, 1.0);
+  b.addEdge(0, 2, 4.0);
+  b.addEdge(1, 2, 1.0);
+  b.addEdge(2, 3, 1.0);
+  b.addEdge(1, 3, 5.0);
+  return b.build();
+}
+
+TEST(Dijkstra, KnownDistances) {
+  const Graph g = diamond();
+  const auto d = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);  // via 1
+  EXPECT_DOUBLE_EQ(d[3], 3.0);  // via 1,2
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  GraphBuilder b(3);
+  b.addEdge(0, 1, 1.0);
+  const auto d = dijkstra(b.build(), 0);
+  EXPECT_EQ(d[2], kInfDist);
+}
+
+TEST(Dijkstra, BoundedCutsOff) {
+  const Graph g = diamond();
+  const auto d = dijkstraBounded(g, 0, 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+  EXPECT_EQ(d[3], kInfDist);
+}
+
+TEST(Dijkstra, PairQueryMatchesFull) {
+  Rng rng(3);
+  const Graph g = gnmRandom(120, 400, rng, {WeightModel::kUniform, 10.0}, true);
+  const auto d = dijkstra(g, 5);
+  for (VertexId v : {0u, 10u, 60u, 119u})
+    EXPECT_DOUBLE_EQ(dijkstraPair(g, 5, v), d[v]);
+}
+
+TEST(Dijkstra, PairQueryRespectsBound) {
+  const Graph g = diamond();
+  EXPECT_EQ(dijkstraPair(g, 0, 3, 2.0), kInfDist);
+  EXPECT_DOUBLE_EQ(dijkstraPair(g, 0, 3, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(dijkstraPair(g, 2, 2), 0.0);
+}
+
+TEST(Bfs, HopDistances) {
+  Rng rng(4);
+  const Graph g = pathGraph(6, rng);
+  const auto h = bfsHops(g, 0);
+  for (std::uint32_t v = 0; v < 6; ++v) EXPECT_EQ(h[v], v);
+}
+
+TEST(Bfs, MatchesDijkstraOnUnweighted) {
+  Rng rng(5);
+  const Graph g = gnmRandom(200, 600, rng, {}, true);
+  const auto h = bfsHops(g, 17);
+  const auto d = dijkstra(g, 17);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    if (h[v] == kInfHops)
+      EXPECT_EQ(d[v], kInfDist);
+    else
+      EXPECT_DOUBLE_EQ(d[v], static_cast<double>(h[v]));
+  }
+}
+
+TEST(MultiSourceBfs, NearestSourceAndParents) {
+  Rng rng(6);
+  const Graph g = pathGraph(10, rng);
+  const auto ms = multiSourceBfs(g, {0, 9});
+  EXPECT_EQ(ms.hops[0], 0u);
+  EXPECT_EQ(ms.hops[9], 0u);
+  EXPECT_EQ(ms.source[2], 0u);
+  EXPECT_EQ(ms.source[8], 9u);
+  EXPECT_EQ(ms.hops[4], 4u);
+  // Parent pointers walk back to the claimed source.
+  VertexId cur = 6;
+  while (ms.parentEdge[cur] != kNoEdge) cur = g.opposite(ms.parentEdge[cur], cur);
+  EXPECT_EQ(cur, ms.source[6]);
+}
+
+TEST(MultiSourceBfs, DepthLimit) {
+  Rng rng(7);
+  const Graph g = pathGraph(10, rng);
+  const auto ms = multiSourceBfs(g, {0}, 3);
+  EXPECT_EQ(ms.hops[3], 3u);
+  EXPECT_EQ(ms.hops[4], kInfHops);
+  EXPECT_EQ(ms.source[4], kNoVertex);
+}
+
+TEST(BfsBall, CompleteWhenSmall) {
+  Rng rng(8);
+  const Graph g = cycleGraph(10, rng);
+  const BfsBall ball = bfsBall(g, 0, 10, 100);
+  EXPECT_TRUE(ball.complete);
+  EXPECT_EQ(ball.vertices.size(), 10u);
+}
+
+TEST(BfsBall, CapsAtMaxVertices) {
+  Rng rng(9);
+  const Graph g = starGraph(100, rng);
+  const BfsBall ball = bfsBall(g, 0, 2, 10);
+  EXPECT_FALSE(ball.complete);
+  EXPECT_LE(ball.vertices.size(), 10u);
+}
+
+TEST(BfsBall, RespectsHopLimit) {
+  Rng rng(10);
+  const Graph g = pathGraph(20, rng);
+  const BfsBall ball = bfsBall(g, 0, 3, 1000);
+  EXPECT_TRUE(ball.complete);
+  EXPECT_EQ(ball.vertices.size(), 4u);  // 0,1,2,3
+}
+
+TEST(AllPairs, SymmetricAndConsistent) {
+  Rng rng(11);
+  const Graph g = gnmRandom(60, 150, rng, {WeightModel::kUniform, 5.0}, true);
+  const auto ap = allPairs(g);
+  for (VertexId u = 0; u < g.numVertices(); u += 7)
+    for (VertexId v = 0; v < g.numVertices(); v += 11) {
+      EXPECT_DOUBLE_EQ(ap[u][v], ap[v][u]);
+      EXPECT_GE(ap[u][v], 0.0);
+    }
+  // Triangle inequality on a few triples.
+  EXPECT_LE(ap[0][2], ap[0][1] + ap[1][2] + 1e-9);
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,74 @@
+// Mini-fuzzer: many small random instances (assorted sizes, densities,
+// weight models, algorithms, seeds), each with a *full* per-edge stretch
+// audit. Small graphs make exhaustive verification cheap, so this net
+// catches corner cases the fixed-workload suites might miss (near-empty
+// graphs, disconnected shards, duplicate weights, single-cluster collapse).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+SpannerResult runByIndex(int which, const Graph& g, std::uint32_t k,
+                         std::uint64_t seed) {
+  switch (which % 4) {
+    case 0: return buildBaswanaSen(g, {.k = k, .seed = seed});
+    case 1: return buildClusterMergingSpanner(g, {.k = k, .seed = seed});
+    case 2: return buildSqrtKSpanner(g, {.k = k, .seed = seed});
+    default: {
+      TradeoffParams p;
+      p.k = k;
+      p.t = static_cast<std::uint32_t>(1 + which % 3);
+      p.seed = seed;
+      return buildTradeoffSpanner(g, p);
+    }
+  }
+}
+
+class SpannerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpannerFuzz, RandomInstanceFullAudit) {
+  const int trial = GetParam();
+  Rng meta(0xF00D + static_cast<std::uint64_t>(trial) * 1315423911ULL);
+
+  const std::size_t n = 2 + meta.next(60);
+  const std::size_t maxEdges = n * (n - 1) / 2;
+  const std::size_t m = meta.next(maxEdges + 1);
+  WeightSpec weights;
+  switch (meta.next(4)) {
+    case 0: weights = {WeightModel::kUnit, 1.0}; break;
+    case 1: weights = {WeightModel::kUniform, 1.0 + meta.uniform() * 99.0}; break;
+    case 2: weights = {WeightModel::kInteger, 1.0 + double(meta.next(8))}; break;
+    default: weights = {WeightModel::kExponential, 200.0}; break;
+  }
+  Rng rng(meta());
+  const Graph g = gnmRandom(n, m, rng, weights, meta.coin(0.5));
+  const auto k = static_cast<std::uint32_t>(1 + meta.next(9));
+  const std::uint64_t seed = meta();
+
+  const SpannerResult r = runByIndex(trial, g, k, seed);
+  ASSERT_LE(r.edges.size(), g.numEdges());
+  for (EdgeId id : r.edges) ASSERT_LT(id, g.numEdges());
+
+  const StretchReport report = verifySpanner(g, r.edges, r.stretchBound,
+                                             {.maxEdgeChecks = 0,  // audit all
+                                              .pairSources = 2});
+  EXPECT_TRUE(report.spanning)
+      << "trial=" << trial << " n=" << n << " m=" << g.numEdges() << " k=" << k;
+  EXPECT_EQ(report.violations, 0u)
+      << "trial=" << trial << " n=" << n << " m=" << g.numEdges() << " k=" << k
+      << " max=" << report.maxEdgeStretch << " bound=" << r.stretchBound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, SpannerFuzz, ::testing::Range(0, 48));
+
+}  // namespace
+}  // namespace mpcspan

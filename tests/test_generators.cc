@@ -1,0 +1,192 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(Generators, GnmProducesRequestedEdges) {
+  Rng rng(1);
+  const Graph g = gnmRandom(100, 300, rng);
+  EXPECT_EQ(g.numVertices(), 100u);
+  EXPECT_EQ(g.numEdges(), 300u);
+}
+
+TEST(Generators, GnmConnectedOverlayIsConnected) {
+  Rng rng(2);
+  const Graph g = gnmRandom(200, 100, rng, {}, /*connected=*/true);
+  EXPECT_EQ(numComponents(g), 1u);
+}
+
+TEST(Generators, GnmCapsAtCompleteGraph) {
+  Rng rng(3);
+  const Graph g = gnmRandom(10, 10000, rng);
+  EXPECT_EQ(g.numEdges(), 45u);
+}
+
+TEST(Generators, GnmDeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const Graph ga = gnmRandom(64, 128, a);
+  const Graph gb = gnmRandom(64, 128, b);
+  ASSERT_EQ(ga.numEdges(), gb.numEdges());
+  for (EdgeId i = 0; i < ga.numEdges(); ++i) EXPECT_EQ(ga.edge(i), gb.edge(i));
+}
+
+TEST(Generators, GnpMatchesExpectedDensity) {
+  Rng rng(4);
+  const Graph g = gnpRandom(400, 0.05, rng);
+  const double expected = 0.05 * 400 * 399 / 2;
+  EXPECT_NEAR(static_cast<double>(g.numEdges()), expected, 0.15 * expected);
+}
+
+TEST(Generators, GnpZeroAndOne) {
+  Rng rng(5);
+  EXPECT_EQ(gnpRandom(50, 0.0, rng).numEdges(), 0u);
+  EXPECT_EQ(gnpRandom(20, 1.0, rng).numEdges(), 190u);
+}
+
+TEST(Generators, BarabasiAlbertConnectedWithHeavyTail) {
+  Rng rng(6);
+  const Graph g = barabasiAlbert(500, 3, rng);
+  EXPECT_EQ(numComponents(g), 1u);
+  std::size_t maxDeg = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v)
+    maxDeg = std::max(maxDeg, g.degree(v));
+  // Preferential attachment yields hubs far above the mean degree (~6).
+  EXPECT_GT(maxDeg, 20u);
+}
+
+TEST(Generators, Grid2dStructure) {
+  Rng rng(8);
+  const Graph g = grid2d(5, 4, rng);
+  EXPECT_EQ(g.numVertices(), 20u);
+  EXPECT_EQ(g.numEdges(), 4u * 4 + 5u * 3);  // horizontal + vertical
+  EXPECT_EQ(numComponents(g), 1u);
+}
+
+TEST(Generators, TorusAddsWrapEdges) {
+  Rng rng(9);
+  const Graph g = grid2d(4, 4, rng, {}, /*torus=*/true);
+  EXPECT_EQ(g.numEdges(), 2u * 16);  // 4-regular
+  for (VertexId v = 0; v < g.numVertices(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, GeometricEdgesRespectRadius) {
+  Rng rng(10);
+  const Graph g = randomGeometric(300, 0.08, rng, /*euclideanWeights=*/true);
+  for (const Edge& e : g.edges()) EXPECT_LE(e.w, 0.08 + 1e-5);
+}
+
+TEST(Generators, CyclePathStarComplete) {
+  Rng rng(11);
+  EXPECT_EQ(cycleGraph(10, rng).numEdges(), 10u);
+  EXPECT_EQ(pathGraph(10, rng).numEdges(), 9u);
+  EXPECT_EQ(starGraph(10, rng).numEdges(), 9u);
+  EXPECT_EQ(completeGraph(10, rng).numEdges(), 45u);
+  EXPECT_EQ(cycleGraph(2, rng).numEdges(), 1u);
+  EXPECT_EQ(cycleGraph(1, rng).numEdges(), 0u);
+}
+
+TEST(Generators, HypercubeIsRegular) {
+  Rng rng(12);
+  const Graph g = hypercube(5, rng);
+  EXPECT_EQ(g.numVertices(), 32u);
+  for (VertexId v = 0; v < g.numVertices(); ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, WeightModels) {
+  Rng rng(13);
+  WeightSpec unit;
+  EXPECT_DOUBLE_EQ(drawWeight(unit, rng), 1.0);
+  WeightSpec uni{WeightModel::kUniform, 50.0};
+  WeightSpec integer{WeightModel::kInteger, 10.0};
+  WeightSpec expo{WeightModel::kExponential, 100.0};
+  for (int i = 0; i < 500; ++i) {
+    const double u = drawWeight(uni, rng);
+    EXPECT_GE(u, 1.0);
+    EXPECT_LT(u, 50.0);
+    const double z = drawWeight(integer, rng);
+    EXPECT_EQ(z, std::floor(z));
+    EXPECT_GE(z, 1.0);
+    EXPECT_LE(z, 10.0);
+    EXPECT_GE(drawWeight(expo, rng), 1.0);
+  }
+}
+
+class FamilyTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilyTest, ProducesNonTrivialGraph) {
+  Rng rng(14);
+  const Graph g = makeFamily(GetParam(), 256, 6.0, rng);
+  EXPECT_GT(g.numVertices(), 0u);
+  EXPECT_GT(g.numEdges(), 0u);
+  EXPECT_TRUE(g.isUnweighted());
+}
+
+TEST_P(FamilyTest, WeightedVariant) {
+  Rng rng(15);
+  const Graph g = makeFamily(GetParam(), 128, 6.0, rng,
+                             {WeightModel::kUniform, 10.0});
+  bool anyNonUnit = false;
+  for (const Edge& e : g.edges()) anyNonUnit |= e.w != 1.0;
+  EXPECT_TRUE(anyNonUnit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyTest,
+    ::testing::Values(Family::kGnm, Family::kBarabasiAlbert, Family::kGrid,
+                      Family::kGeometric, Family::kCycle, Family::kHypercube,
+                      Family::kComplete),
+    [](const auto& info) {
+      std::string name = familyName(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Generators, WattsStrogatzRingAtBetaZero) {
+  Rng rng(16);
+  const Graph g = wattsStrogatz(100, 4, 0.0, rng);
+  EXPECT_EQ(g.numEdges(), 200u);  // n * nearest / 2
+  for (VertexId v = 0; v < g.numVertices(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, WattsStrogatzRewiringChangesStructure) {
+  Rng a(17), b(17);
+  const Graph ring = wattsStrogatz(200, 6, 0.0, a);
+  const Graph rewired = wattsStrogatz(200, 6, 0.5, b);
+  // Rewiring keeps the edge count close but breaks the lattice: some edge
+  // must leave the +-3 ring band.
+  EXPECT_NEAR(double(rewired.numEdges()), double(ring.numEdges()),
+              0.1 * double(ring.numEdges()));
+  bool anyLong = false;
+  for (const Edge& e : rewired.edges()) {
+    const std::size_t gap = std::min<std::size_t>(e.v - e.u, 200 - (e.v - e.u));
+    anyLong |= gap > 3;
+  }
+  EXPECT_TRUE(anyLong);
+}
+
+TEST(Generators, WattsStrogatzOddNearestRoundsUp) {
+  Rng rng(18);
+  const Graph g = wattsStrogatz(60, 3, 0.0, rng);  // -> nearest = 4
+  EXPECT_EQ(g.numEdges(), 120u);
+}
+
+TEST(Generators, WattsStrogatzTinyGraphFallsBackToCycle) {
+  Rng rng(19);
+  const Graph g = wattsStrogatz(4, 4, 0.2, rng);
+  EXPECT_EQ(g.numEdges(), 4u);
+}
+
+TEST(Generators, FamilyNamesAreDistinct) {
+  EXPECT_STRNE(familyName(Family::kGnm), familyName(Family::kGrid));
+  EXPECT_STREQ(familyName(Family::kBarabasiAlbert), "barabasi-albert");
+}
+
+}  // namespace
+}  // namespace mpcspan

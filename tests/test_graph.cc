@@ -1,0 +1,112 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  const Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.numVertices(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(GraphBuilder, SingleEdgeNormalizesOrientation) {
+  GraphBuilder b(3);
+  b.addEdge(2, 1, 5.0);
+  const Graph g = b.build();
+  ASSERT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(g.edge(0).u, 1u);
+  EXPECT_EQ(g.edge(0).v, 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 5.0);
+}
+
+TEST(GraphBuilder, DropsSelfLoops) {
+  GraphBuilder b(2);
+  b.addEdge(1, 1, 2.0);
+  b.addEdge(0, 1, 3.0);
+  EXPECT_EQ(b.build().numEdges(), 1u);
+}
+
+TEST(GraphBuilder, ParallelEdgesKeepMinimumWeight) {
+  GraphBuilder b(2);
+  b.addEdge(0, 1, 7.0);
+  b.addEdge(1, 0, 2.0);
+  b.addEdge(0, 1, 9.0);
+  const Graph g = b.build();
+  ASSERT_EQ(g.numEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 2.0);
+}
+
+TEST(GraphBuilder, RejectsBadInput) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.addEdge(0, 5), std::out_of_range);
+  EXPECT_THROW(b.addEdge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.addEdge(0, 1, -2.0), std::invalid_argument);
+  EXPECT_THROW(b.addEdge(0, 1, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(Graph, AdjacencyIsConsistentWithEdges) {
+  GraphBuilder b(4);
+  b.addEdge(0, 1, 1.0);
+  b.addEdge(0, 2, 2.0);
+  b.addEdge(2, 3, 3.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+  std::size_t halfEdges = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    for (const Incidence& inc : g.neighbors(v)) {
+      const Edge& e = g.edge(inc.edge);
+      EXPECT_TRUE(e.u == v || e.v == v);
+      EXPECT_EQ(g.opposite(inc.edge, v), inc.to);
+      ++halfEdges;
+    }
+  }
+  EXPECT_EQ(halfEdges, 2 * g.numEdges());
+}
+
+TEST(Graph, UnweightedFlag) {
+  GraphBuilder b(3);
+  b.addEdge(0, 1);
+  b.addEdge(1, 2);
+  EXPECT_TRUE(b.build().isUnweighted());
+  b.addEdge(0, 2, 2.5);
+  EXPECT_FALSE(b.build().isUnweighted());
+}
+
+TEST(Graph, TotalAndMaxWeight) {
+  GraphBuilder b(3);
+  b.addEdge(0, 1, 1.5);
+  b.addEdge(1, 2, 2.5);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(g.totalWeight(), 4.0);
+  EXPECT_DOUBLE_EQ(g.maxWeight(), 2.5);
+  EXPECT_DOUBLE_EQ(Graph{}.maxWeight(), 0.0);
+}
+
+TEST(Graph, GraphFromEdgesHelper) {
+  const Graph g = graphFromEdges(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_EQ(g.numVertices(), 3u);
+  EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(Graph, EdgesSortedByEndpoints) {
+  GraphBuilder b(4);
+  b.addEdge(2, 3);
+  b.addEdge(0, 1);
+  b.addEdge(0, 3);
+  const Graph g = b.build();
+  for (EdgeId id = 1; id < g.numEdges(); ++id) {
+    const Edge& prev = g.edge(id - 1);
+    const Edge& cur = g.edge(id);
+    EXPECT_TRUE(prev.u < cur.u || (prev.u == cur.u && prev.v < cur.v));
+  }
+}
+
+}  // namespace
+}  // namespace mpcspan

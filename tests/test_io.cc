@@ -1,0 +1,59 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(Io, RoundTripPreservesGraph) {
+  Rng rng(1);
+  const Graph g = gnmRandom(64, 180, rng, {WeightModel::kUniform, 20.0});
+  std::stringstream ss;
+  writeEdgeList(g, ss);
+  const Graph back = readEdgeList(ss);
+  ASSERT_EQ(back.numVertices(), g.numVertices());
+  ASSERT_EQ(back.numEdges(), g.numEdges());
+  for (EdgeId i = 0; i < g.numEdges(); ++i) {
+    EXPECT_EQ(back.edge(i).u, g.edge(i).u);
+    EXPECT_EQ(back.edge(i).v, g.edge(i).v);
+    EXPECT_NEAR(back.edge(i).w, g.edge(i).w, 1e-6 * g.edge(i).w);
+  }
+}
+
+TEST(Io, DefaultWeightIsOne) {
+  std::stringstream ss("n 3\n0 1\n1 2\n");
+  const Graph g = readEdgeList(ss);
+  EXPECT_EQ(g.numEdges(), 2u);
+  EXPECT_TRUE(g.isUnweighted());
+}
+
+TEST(Io, SkipsComments) {
+  std::stringstream ss("# header\nn 2\n# edge below\n0 1 3.5\n");
+  const Graph g = readEdgeList(ss);
+  ASSERT_EQ(g.numEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 3.5);
+}
+
+TEST(Io, RejectsMissingHeader) {
+  std::stringstream ss("0 1 1.0\n");
+  EXPECT_THROW(readEdgeList(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(readEdgeList(empty), std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  Rng rng(2);
+  const Graph g = cycleGraph(12, rng, {WeightModel::kInteger, 5.0});
+  const std::string path = ::testing::TempDir() + "/mpcspan_io_test.txt";
+  writeEdgeListFile(g, path);
+  const Graph back = readEdgeListFile(path);
+  EXPECT_EQ(back.numEdges(), g.numEdges());
+  EXPECT_THROW(readEdgeListFile(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mpcspan

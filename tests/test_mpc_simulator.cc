@@ -1,0 +1,88 @@
+#include "mpc/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpcspan {
+namespace {
+
+TEST(MpcSimulator, ConfigForInputSizesMachines) {
+  const MpcConfig cfg = MpcConfig::forInput(1 << 16, 0.5);
+  // Total memory covers slack * input, and the coordinator floor
+  // S >= 8 * machines (needed by the O(1)-round primitives) holds.
+  EXPECT_GE(cfg.numMachines * cfg.wordsPerMachine, 2u * (1 << 16));
+  EXPECT_GE(cfg.wordsPerMachine, 8 * cfg.numMachines);
+  // With a high gamma the floor is inactive and S = N^gamma exactly.
+  const MpcConfig highGamma = MpcConfig::forInput(1 << 16, 0.8, 1.0);
+  EXPECT_EQ(highGamma.wordsPerMachine,
+            static_cast<std::size_t>(std::pow(double(1 << 16), 0.8)));
+}
+
+TEST(MpcSimulator, RejectsEmptyConfig) {
+  EXPECT_THROW(MpcSimulator(MpcConfig{0, 16}), std::invalid_argument);
+  EXPECT_THROW(MpcSimulator(MpcConfig{4, 0}), std::invalid_argument);
+}
+
+TEST(MpcSimulator, DeliversMessagesAndCountsRounds) {
+  MpcSimulator sim(MpcConfig{3, 16});
+  std::vector<std::vector<MpcSimulator::Message>> out(3);
+  out[0].push_back({1, {10, 20}});
+  out[2].push_back({1, {30}});
+  out[1].push_back({0, {40}});
+  const auto inbox = sim.communicate(std::move(out));
+  EXPECT_EQ(sim.rounds(), 1u);
+  EXPECT_EQ(sim.totalWordsSent(), 4u);
+  EXPECT_EQ(inbox[1].size(), 3u);
+  EXPECT_EQ(inbox[0], (std::vector<Word>{40}));
+  EXPECT_TRUE(inbox[2].empty());
+}
+
+TEST(MpcSimulator, EnforcesSendCapacity) {
+  MpcSimulator sim(MpcConfig{2, 4});
+  std::vector<std::vector<MpcSimulator::Message>> out(2);
+  out[0].push_back({1, {1, 2, 3, 4, 5}});
+  EXPECT_THROW(sim.communicate(std::move(out)), CapacityError);
+}
+
+TEST(MpcSimulator, EnforcesReceiveCapacity) {
+  MpcSimulator sim(MpcConfig{3, 4});
+  std::vector<std::vector<MpcSimulator::Message>> out(3);
+  out[0].push_back({2, {1, 2, 3}});
+  out[1].push_back({2, {4, 5, 6}});
+  EXPECT_THROW(sim.communicate(std::move(out)), CapacityError);
+}
+
+TEST(MpcSimulator, RejectsUnknownDestination) {
+  MpcSimulator sim(MpcConfig{2, 8});
+  std::vector<std::vector<MpcSimulator::Message>> out(2);
+  out[0].push_back({5, {1}});
+  EXPECT_THROW(sim.communicate(std::move(out)), std::invalid_argument);
+}
+
+TEST(MpcSimulator, RejectsWrongOutboxCount) {
+  MpcSimulator sim(MpcConfig{2, 8});
+  std::vector<std::vector<MpcSimulator::Message>> out(3);
+  EXPECT_THROW(sim.communicate(std::move(out)), std::invalid_argument);
+}
+
+TEST(MpcSimulator, TracksPeakTraffic) {
+  MpcSimulator sim(MpcConfig{2, 16});
+  std::vector<std::vector<MpcSimulator::Message>> out(2);
+  out[0].push_back({1, {1, 2, 3}});
+  sim.communicate(std::move(out));
+  std::vector<std::vector<MpcSimulator::Message>> out2(2);
+  out2[1].push_back({0, {1}});
+  sim.communicate(std::move(out2));
+  EXPECT_EQ(sim.rounds(), 2u);
+  EXPECT_EQ(sim.maxRoundWords(), 3u);
+}
+
+TEST(MpcSimulator, ChargeRoundsAccumulates) {
+  MpcSimulator sim(MpcConfig{1, 8});
+  sim.chargeRounds(5);
+  EXPECT_EQ(sim.rounds(), 5u);
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,59 @@
+#include "graph/quotient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(Quotient, ContractsClusters) {
+  // Two clusters {0,1} and {2,3} with parallel crossing edges of weights
+  // 5 and 2 -> one super-edge of weight 2.
+  GraphBuilder b(4);
+  b.addEdge(0, 1, 1.0);
+  b.addEdge(2, 3, 1.0);
+  b.addEdge(0, 2, 5.0);
+  b.addEdge(1, 3, 2.0);
+  const Graph g = b.build();
+  const Quotient q = quotientGraph(g, {7, 7, 9, 9});
+  EXPECT_EQ(q.numClasses, 2u);
+  ASSERT_EQ(q.graph.numEdges(), 1u);
+  EXPECT_DOUBLE_EQ(q.graph.edge(0).w, 2.0);
+  // Representative points at the original weight-2 edge.
+  ASSERT_EQ(q.representative.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(q.representative[0]).w, 2.0);
+}
+
+TEST(Quotient, DropsUnlabeledVertices) {
+  GraphBuilder b(3);
+  b.addEdge(0, 1, 1.0);
+  b.addEdge(1, 2, 1.0);
+  const Graph g = b.build();
+  const Quotient q = quotientGraph(g, {1, 2, kNoVertex});
+  EXPECT_EQ(q.numClasses, 2u);
+  EXPECT_EQ(q.graph.numEdges(), 1u);
+  EXPECT_EQ(q.superOf[2], kNoVertex);
+}
+
+TEST(Quotient, SelfLoopsDisappear) {
+  Rng rng(1);
+  const Graph g = completeGraph(6, rng);
+  const Quotient q = quotientGraph(g, {0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(q.numClasses, 1u);
+  EXPECT_EQ(q.graph.numEdges(), 0u);
+}
+
+TEST(Quotient, IdentityClusteringPreservesGraph) {
+  Rng rng(2);
+  const Graph g = gnmRandom(40, 100, rng, {WeightModel::kUniform, 9.0});
+  std::vector<VertexId> ids(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) ids[v] = v;
+  const Quotient q = quotientGraph(g, ids);
+  EXPECT_EQ(q.numClasses, g.numVertices());
+  EXPECT_EQ(q.graph.numEdges(), g.numEdges());
+}
+
+}  // namespace
+}  // namespace mpcspan

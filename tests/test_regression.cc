@@ -1,0 +1,73 @@
+// Regression pins: fixed-seed runs hashed edge-by-edge. These freeze the
+// exact behaviour of every algorithm (sampling, tie-breaking, epoch
+// schedules); any change to the engine's semantics — intended or not —
+// shows up here first and must be acknowledged by updating the pins.
+#include <gtest/gtest.h>
+
+#include "cclique/spanner_cc.hpp"
+#include "graph/generators.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/unweighted_fast.hpp"
+#include "util/rng.hpp"
+
+namespace mpcspan {
+namespace {
+
+std::uint64_t edgesDigest(const std::vector<EdgeId>& edges) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (EdgeId id : edges) h = mix64(h ^ (id + 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
+Graph pinGraph() {
+  Rng rng(0xFEED);
+  return gnmRandom(256, 1024, rng, {WeightModel::kUniform, 31.0}, true);
+}
+
+TEST(Regression, GeneratorIsPinned) {
+  const Graph g = pinGraph();
+  ASSERT_EQ(g.numVertices(), 256u);
+  ASSERT_EQ(g.numEdges(), 1280u);  // 1024 + connected overlay ring
+  // Digest of the edge structure itself.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Edge& e : g.edges())
+    h = mix64(h ^ ((std::uint64_t(e.u) << 32) | e.v));
+  EXPECT_EQ(h, 0x68b8d59065e751aaULL);
+}
+
+TEST(Regression, AlgorithmsArePinned) {
+  const Graph g = pinGraph();
+  const std::uint64_t seed = 77;
+
+  const auto bs = buildBaswanaSen(g, {.k = 4, .seed = seed});
+  const auto cm = buildClusterMergingSpanner(g, {.k = 8, .seed = seed});
+  const auto sq = buildSqrtKSpanner(g, {.k = 9, .seed = seed});
+  TradeoffParams tp;
+  tp.k = 8;
+  tp.t = 2;
+  tp.seed = seed;
+  const auto to = buildTradeoffSpanner(g, tp);
+  const auto cc = buildCcSpanner(g, {.k = 8, .t = 2, .seed = seed});
+
+  // The digests below were recorded from the first verified-green build;
+  // see file header for the update policy.
+  EXPECT_EQ(edgesDigest(bs.edges), 0xd42790d718cb7b5fULL) << bs.edges.size();
+  EXPECT_EQ(edgesDigest(cm.edges), 0xfb0e767a464be236ULL) << cm.edges.size();
+  EXPECT_EQ(edgesDigest(sq.edges), 0x629684f3d2375574ULL) << sq.edges.size();
+  EXPECT_EQ(edgesDigest(to.edges), 0x234a1d77d5f62729ULL) << to.edges.size();
+  EXPECT_EQ(edgesDigest(cc.edges), 0xeb46b375475a1ed9ULL) << cc.edges.size();
+}
+
+TEST(Regression, UnweightedFastIsPinned) {
+  Rng rng(0xBEEF);
+  const Graph g = gnmRandom(256, 1024, rng, {}, true);
+  const auto r = buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.5, .seed = 5});
+  EXPECT_EQ(edgesDigest(r.spanner.edges), 0xb1501b183e1b0e77ULL)
+      << r.spanner.edges.size();
+}
+
+}  // namespace
+}  // namespace mpcspan

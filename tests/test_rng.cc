@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mpcspan {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 9.0);
+    ASSERT_GE(u, 3.0);
+    ASSERT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, NextBoundedStaysInRange) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.next(bound), bound);
+  }
+}
+
+TEST(Rng, NextBoundedCoversSmallRangeUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[rng.next(6)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, CoinRespectsProbabilityExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.coin(0.0));
+    EXPECT_TRUE(rng.coin(1.0));
+    EXPECT_FALSE(rng.coin(-1.0));
+    EXPECT_TRUE(rng.coin(2.0));
+  }
+}
+
+TEST(Rng, CoinEmpiricalRate) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.coin(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(31);
+  Rng f0 = base.fork(0);
+  Rng f1 = base.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += f0() == f1();
+  EXPECT_LT(equal, 5);
+  // Forks are deterministic functions of (seed, stream).
+  Rng base2(31);
+  Rng f0again = base2.fork(0);
+  Rng f0ref = Rng(31).fork(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f0again(), f0ref());
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t x = 0; x < 1000; ++x) outs.insert(mix64(x));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 5;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,121 @@
+// Cross-algorithm property sweep: every spanner algorithm, over several
+// graph families, weight models, stretch parameters and seeds, must produce
+// (1) a spanning subgraph, (2) per-edge stretch within its certified bound,
+// and (3) a size no larger than the input. This is the library's broadest
+// parameterized invariant net.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+enum class Algo { kBaswanaSen, kClusterMerging, kSqrtK, kTradeoffT2, kTradeoffLogK };
+
+const char* algoName(Algo a) {
+  switch (a) {
+    case Algo::kBaswanaSen: return "baswana_sen";
+    case Algo::kClusterMerging: return "cluster_merging";
+    case Algo::kSqrtK: return "sqrtk";
+    case Algo::kTradeoffT2: return "tradeoff_t2";
+    case Algo::kTradeoffLogK: return "tradeoff_logk";
+  }
+  return "?";
+}
+
+SpannerResult runAlgo(Algo a, const Graph& g, std::uint32_t k, std::uint64_t seed) {
+  switch (a) {
+    case Algo::kBaswanaSen:
+      return buildBaswanaSen(g, {.k = k, .seed = seed});
+    case Algo::kClusterMerging:
+      return buildClusterMergingSpanner(g, {.k = k, .seed = seed});
+    case Algo::kSqrtK:
+      return buildSqrtKSpanner(g, {.k = k, .seed = seed});
+    case Algo::kTradeoffT2: {
+      TradeoffParams p;
+      p.k = k;
+      p.t = 2;
+      p.seed = seed;
+      return buildTradeoffSpanner(g, p);
+    }
+    case Algo::kTradeoffLogK: {
+      TradeoffParams p;
+      p.k = k;
+      p.t = 0;
+      p.seed = seed;
+      return buildTradeoffSpanner(g, p);
+    }
+  }
+  return {};
+}
+
+using Param = std::tuple<Algo, Family, std::uint32_t /*k*/, int /*weights*/,
+                         std::uint64_t /*seed*/>;
+
+class SpannerProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SpannerProperty, SpanningStretchAndSize) {
+  const auto [algo, family, k, weightKind, seed] = GetParam();
+  Rng rng(seed * 7919 + k);
+  const WeightSpec weights =
+      weightKind == 0 ? WeightSpec{WeightModel::kUnit, 1.0}
+                      : WeightSpec{WeightModel::kUniform, 50.0};
+  const Graph g = makeFamily(family, 220, 6.0, rng, weights);
+  const SpannerResult r = runAlgo(algo, g, k, seed);
+
+  ASSERT_LE(r.edges.size(), g.numEdges());
+  const StretchReport report = verifySpanner(
+      g, r.edges, r.stretchBound, {.maxEdgeChecks = 800, .pairSources = 3});
+  EXPECT_TRUE(report.spanning) << algoName(algo);
+  EXPECT_EQ(report.violations, 0u)
+      << algoName(algo) << " on " << familyName(family) << " k=" << k
+      << ": max stretch " << report.maxEdgeStretch << " > bound "
+      << r.stretchBound;
+  EXPECT_LE(report.maxPairStretch, r.stretchBound + 1e-6);
+}
+
+std::string paramName(const ::testing::TestParamInfo<Param>& info) {
+  const auto [algo, family, k, weightKind, seed] = info.param;
+  std::string name = std::string(algoName(algo)) + "_" + familyName(family) +
+                     "_k" + std::to_string(k) +
+                     (weightKind == 0 ? "_unit" : "_wt") + "_s" +
+                     std::to_string(seed);
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpannerProperty,
+    ::testing::Combine(
+        ::testing::Values(Algo::kBaswanaSen, Algo::kClusterMerging, Algo::kSqrtK,
+                          Algo::kTradeoffT2, Algo::kTradeoffLogK),
+        ::testing::Values(Family::kGnm, Family::kBarabasiAlbert, Family::kGrid),
+        ::testing::Values(2u, 4u, 8u),
+        ::testing::Values(0, 1),
+        ::testing::Values<std::uint64_t>(1, 2)),
+    paramName);
+
+// A second, smaller sweep on the structured extremes (cycle / hypercube /
+// complete) with a single seed: these exercise the girth and density corner
+// cases of the size analysis.
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, SpannerProperty,
+    ::testing::Combine(
+        ::testing::Values(Algo::kBaswanaSen, Algo::kTradeoffT2),
+        ::testing::Values(Family::kCycle, Family::kHypercube, Family::kComplete),
+        ::testing::Values(3u, 6u),
+        ::testing::Values(0, 1),
+        ::testing::Values<std::uint64_t>(3)),
+    paramName);
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,74 @@
+#include "spanner/sqrtk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(SqrtK, IterationCountIsOrderSqrtK) {
+  Rng rng(1);
+  const Graph g = gnmRandom(400, 1600, rng, {}, true);
+  for (std::uint32_t k : {4u, 9u, 16u, 25u, 49u}) {
+    const auto r = buildSqrtKSpanner(g, {.k = k, .seed = 1});
+    const auto t = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(k))));
+    EXPECT_EQ(r.iterations, t + (t > 1 ? t - 1 : 1)) << "k=" << k;
+    EXPECT_EQ(r.epochs, 2u);
+    // Far fewer iterations than Baswana-Sen's k-1 once k is large.
+    if (k >= 16) {
+      EXPECT_LT(r.iterations, static_cast<std::size_t>(k - 1));
+    }
+  }
+}
+
+TEST(SqrtK, CertifiedStretchHolds) {
+  Rng rng(2);
+  const Graph g = gnmRandom(400, 2400, rng, {}, true);
+  const auto r = buildSqrtKSpanner(g, {.k = 9, .seed = 2});
+  const auto report = verifySpanner(g, r.edges, r.stretchBound);
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u) << "max " << report.maxEdgeStretch << " bound "
+                                   << r.stretchBound;
+}
+
+TEST(SqrtK, StretchBoundIsLinearInK) {
+  // Radius after epoch 1: t; after epoch 2: t + (t-1)(2t+1) ~ 2k.
+  // So the certified bound grows linearly in k (times a constant), far
+  // below the k^{log2 3} of the t=1 algorithm at large k.
+  Rng rng(3);
+  const Graph g = gnmRandom(200, 800, rng, {}, true);
+  for (std::uint32_t k : {16u, 64u, 144u}) {
+    const auto r = buildSqrtKSpanner(g, {.k = k, .seed = 3});
+    EXPECT_LE(r.stretchBound, 40.0 * k + 60.0) << "k=" << k;
+  }
+}
+
+TEST(SqrtK, WeightedAuditSampled) {
+  Rng rng(4);
+  const Graph g =
+      gnmRandom(512, 4096, rng, {WeightModel::kExponential, 50.0}, true);
+  const auto r = buildSqrtKSpanner(g, {.k = 16, .seed = 4});
+  const auto report = verifySpanner(g, r.edges, r.stretchBound,
+                                    {.maxEdgeChecks = 1500, .pairSources = 4});
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(SqrtK, SizeComparableToTheory) {
+  Rng rng(5);
+  const std::size_t n = 1024;
+  const Graph g = gnmRandom(n, 12000, rng, {}, true);
+  const std::uint32_t k = 9;
+  const auto r = buildSqrtKSpanner(g, {.k = k, .seed = 5});
+  const double bound = 6.0 * std::sqrt(static_cast<double>(k)) *
+                       std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+  EXPECT_LT(static_cast<double>(r.edges.size()), bound);
+}
+
+}  // namespace
+}  // namespace mpcspan

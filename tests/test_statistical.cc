@@ -1,0 +1,112 @@
+// Statistical properties that hold across seeds: the expectation-level size
+// analyses (Theorem 4.13 / Lemma 5.14), the sampling concentration the
+// Congested Clique machinery relies on, and failure injection against the
+// simulator's capacity enforcement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cclique/spanner_cc.hpp"
+#include "graph/generators.hpp"
+#include "mpc/dist_spanner.hpp"
+#include "mpc/primitives.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/tradeoff.hpp"
+#include "util/stats.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(Statistical, MeanSpannerSizeTracksTheorem413) {
+  // E[|E_S|] = O(n^{1+1/k} log k) for the t=1 algorithm; average over seeds
+  // and compare against the bound with a modest constant.
+  Rng rng(1);
+  const std::size_t n = 1200;
+  const Graph g = gnmRandom(n, 14400, rng, {WeightModel::kUniform, 10.0}, true);
+  const std::uint32_t k = 8;
+  std::vector<double> sizes;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    TradeoffParams p;
+    p.k = k;
+    p.t = 1;
+    p.seed = seed;
+    sizes.push_back(static_cast<double>(buildTradeoffSpanner(g, p).edges.size()));
+  }
+  const Summary s = summarize(sizes);
+  const double bound = 4.0 * std::pow(double(n), 1.0 + 1.0 / k) *
+                       (std::log2(double(k)) + 1.0);
+  EXPECT_LT(s.mean, bound);
+  // Concentration: no seed strays far from the mean.
+  EXPECT_LT(s.max / s.min, 1.6);
+}
+
+TEST(Statistical, BaswanaSenSizeAcrossSeeds) {
+  Rng rng(2);
+  const std::size_t n = 1000;
+  const Graph g = gnmRandom(n, 12000, rng, {}, true);
+  std::vector<double> sizes;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    sizes.push_back(
+        static_cast<double>(buildBaswanaSen(g, {.k = 4, .seed = seed}).edges.size()));
+  const Summary s = summarize(sizes);
+  EXPECT_LT(s.mean, 4.0 * 4.0 * std::pow(double(n), 1.25));
+  EXPECT_GT(s.min, double(n) - 1);  // at least a spanning structure
+}
+
+TEST(Statistical, CcRepetitionKeepsSizeSpreadTight) {
+  // Theorem 8.1's w.h.p. guarantee shows up as a small max/min spread.
+  Rng rng(3);
+  const Graph g = gnmRandom(800, 8000, rng, {WeightModel::kUniform, 10.0}, true);
+  std::vector<double> sizes;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    sizes.push_back(static_cast<double>(
+        buildCcSpanner(g, {.k = 6, .t = 2, .seed = seed}).edges.size()));
+  const Summary s = summarize(sizes);
+  EXPECT_LT(s.max / s.min, 1.5);
+}
+
+TEST(Statistical, SupernodeDecayAveragesToLemma512) {
+  // Average the epoch-1 super-node survival over seeds; Lemma 5.12 predicts
+  // n^{1 - t/k} after the first epoch (t iterations at n^{-1/k}).
+  Rng rng(4);
+  const std::size_t n = 3000;
+  const Graph g = gnmRandom(n, 30000, rng, {}, true);
+  const std::uint32_t k = 8, t = 2;
+  std::vector<double> survivors;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    TradeoffParams p;
+    p.k = k;
+    p.t = t;
+    p.seed = seed;
+    const auto r = buildTradeoffSpanner(g, p);
+    ASSERT_GE(r.supernodesPerEpoch.size(), 2u);
+    survivors.push_back(static_cast<double>(r.supernodesPerEpoch[1]));
+  }
+  const double predicted = std::pow(double(n), 1.0 - double(t) / double(k));
+  const double mean = summarize(survivors).mean;
+  EXPECT_GT(mean, 0.4 * predicted);
+  EXPECT_LT(mean, 1.8 * predicted);
+}
+
+TEST(Statistical, FailureInjectionUndersizedCluster) {
+  // A simulator provisioned for a fraction of the tuples must refuse (loud
+  // CapacityError), never silently truncate.
+  Rng rng(5);
+  const Graph g = gnmRandom(500, 5000, rng, {WeightModel::kUniform, 5.0}, true);
+  MpcSimulator tiny(MpcConfig{4, 64});
+  EXPECT_THROW(buildDistributedBaswanaSen(tiny, g, 3, 1), CapacityError);
+}
+
+TEST(Statistical, FailureInjectionHandBuiltConfigWithoutFloor) {
+  // Hand-built configs bypassing MpcConfig::forInput's coordinator floor
+  // are rejected by the sort's splitter check, not silently mis-sorted.
+  Rng rng(6);
+  std::vector<std::uint64_t> data(4096);
+  for (auto& x : data) x = rng.next(1 << 20);
+  MpcSimulator sim(MpcConfig{512, 40});  // 512 machines, 40-word memory
+  DistVector<std::uint64_t> dv(sim, data);
+  EXPECT_THROW(distSort(dv, std::less<>()), CapacityError);
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,206 @@
+// Cross-cutting structural invariants from the paper's analysis sections,
+// checked on top of the per-algorithm suites:
+//  - a spanner contains a spanning forest, so its weight dominates the MST;
+//  - Corollary 5.10's closed-form radius;
+//  - iteration counts at the trade-off extremes (t=1, t=k) match the two
+//    papers they specialize to;
+//  - structural extremes (stars, dumbbells, bipartite bottlenecks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+double mstWeight(const Graph& g) {
+  std::vector<EdgeId> ids(g.numEdges());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(),
+            [&](EdgeId a, EdgeId b) { return g.edge(a).w < g.edge(b).w; });
+  UnionFind uf(g.numVertices());
+  double total = 0;
+  for (EdgeId id : ids)
+    if (uf.unite(g.edge(id).u, g.edge(id).v)) total += g.edge(id).w;
+  return total;
+}
+
+TEST(TheoryInvariants, SpannerWeightDominatesMst) {
+  Rng rng(1);
+  const Graph g = gnmRandom(300, 2400, rng, {WeightModel::kUniform, 30.0}, true);
+  const double mst = mstWeight(g);
+  for (std::uint32_t t : {1u, 2u}) {
+    TradeoffParams p;
+    p.k = 8;
+    p.t = t;
+    p.seed = 2;
+    const auto r = buildTradeoffSpanner(g, p);
+    const Graph h = subgraph(g, r.edges);
+    EXPECT_GE(h.totalWeight() + 1e-9, mst) << "t=" << t;
+    EXPECT_TRUE(sameComponents(g, r.edges));
+  }
+}
+
+TEST(TheoryInvariants, Corollary510RadiusClosedForm) {
+  // r^(l) = ((2t+1)^l - 1)/2 with l = ceil(log k / log(t+1)); substituting
+  // l = log k/log(t+1) exactly gives (k^s - 1)/2 — our l is the ceiling, so
+  // the realized radius is at most (2t+1) times that.
+  Rng rng(3);
+  const Graph g = gnmRandom(200, 1000, rng, {}, true);
+  for (std::uint32_t k : {4u, 16u, 64u}) {
+    for (std::uint32_t t : {1u, 2u, 4u}) {
+      TradeoffParams p;
+      p.k = k;
+      p.t = t;
+      p.seed = 4;
+      const auto r = buildTradeoffSpanner(g, p);
+      const double s = std::log(2.0 * t + 1.0) / std::log(t + 1.0);
+      const double ks = std::pow(double(k), s);
+      EXPECT_LE(r.finalRadius, (2.0 * t + 1.0) * (ks - 1.0) / 2.0 + 1.0)
+          << "k=" << k << " t=" << t;
+      EXPECT_GE(r.finalRadius, (ks - 1.0) / (2.0 * (2.0 * t + 1.0)) - 1.0);
+    }
+  }
+}
+
+TEST(TheoryInvariants, TradeoffExtremesMatchSpecializations) {
+  Rng rng(5);
+  const Graph g = gnmRandom(300, 1200, rng, {}, true);
+  // t=1 runs ceil(log2 k) iterations (Section 4 / Theorem 4.14).
+  for (std::uint32_t k : {8u, 32u}) {
+    TradeoffParams p1;
+    p1.k = k;
+    p1.t = 1;
+    p1.seed = 6;
+    EXPECT_EQ(buildTradeoffSpanner(g, p1).iterations,
+              static_cast<std::size_t>(std::ceil(std::log2(double(k)))));
+    // t=k runs one epoch of k iterations at n^{-1/k} ([BS07] regime).
+    TradeoffParams pk;
+    pk.k = k;
+    pk.t = k;
+    pk.seed = 6;
+    const auto rk = buildTradeoffSpanner(g, pk);
+    EXPECT_EQ(rk.epochs, 1u);
+    EXPECT_EQ(rk.iterations, static_cast<std::size_t>(k));
+  }
+}
+
+TEST(TheoryInvariants, SqrtKRadiusRecurrence) {
+  // Epoch 1 of t iterations from radius 0: r = t. After contraction the
+  // second epoch adds (t-1)(2t+1): r = t + (t-1)(2t+1).
+  Rng rng(7);
+  const Graph g = gnmRandom(200, 1400, rng, {}, true);
+  for (std::uint32_t k : {9u, 25u}) {
+    const auto r = buildSqrtKSpanner(g, {.k = k, .seed = 8});
+    const double t = std::ceil(std::sqrt(double(k)));
+    EXPECT_DOUBLE_EQ(r.finalRadius, t + (t - 1.0) * (2.0 * t + 1.0)) << "k=" << k;
+  }
+}
+
+TEST(TheoryInvariants, StarGraphSpannerIsWholeStar) {
+  // Every star edge is a bridge; nothing can be dropped.
+  Rng rng(9);
+  const Graph g = starGraph(500, rng, {WeightModel::kUniform, 7.0});
+  for (std::uint32_t k : {2u, 8u}) {
+    const auto r = buildBaswanaSen(g, {.k = k, .seed = 10});
+    EXPECT_EQ(r.edges.size(), g.numEdges()) << "k=" << k;
+  }
+}
+
+TEST(TheoryInvariants, DumbbellBridgeAlwaysKept) {
+  // Two dense cliques joined by one bridge: the bridge must survive any
+  // spanner; the cliques must shrink.
+  Rng rng(11);
+  GraphBuilder b(64);
+  for (VertexId u = 0; u < 32; ++u)
+    for (VertexId v = u + 1; v < 32; ++v) {
+      b.addEdge(u, v, 1.0 + rng.uniform());
+      b.addEdge(32 + u, 32 + v, 1.0 + rng.uniform());
+    }
+  b.addEdge(0, 32, 5.0);
+  const Graph g = b.build();
+  TradeoffParams p;
+  p.k = 3;
+  p.t = 1;
+  p.seed = 12;
+  const auto r = buildTradeoffSpanner(g, p);
+  // Find the bridge's id.
+  EdgeId bridge = kNoEdge;
+  for (EdgeId id = 0; id < g.numEdges(); ++id)
+    if (g.edge(id).u == 0 && g.edge(id).v == 32) bridge = id;
+  ASSERT_NE(bridge, kNoEdge);
+  EXPECT_TRUE(std::binary_search(r.edges.begin(), r.edges.end(), bridge));
+  EXPECT_LT(r.edges.size(), g.numEdges());
+}
+
+TEST(TheoryInvariants, CompleteBipartiteSparsifies) {
+  // K_{32,32}: girth 4, so a 3-spanner can already drop most edges.
+  GraphBuilder b(64);
+  for (VertexId u = 0; u < 32; ++u)
+    for (VertexId v = 32; v < 64; ++v) b.addEdge(u, v, 1.0);
+  const Graph g = b.build();
+  const auto r = buildBaswanaSen(g, {.k = 2, .seed = 13});
+  EXPECT_LT(r.edges.size(), g.numEdges());
+  const auto report = verifySpanner(g, r.edges, 3.0);
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(TheoryInvariants, HeavyTailWeightsStillCertified) {
+  // Exponential weights spanning three orders of magnitude.
+  Rng rng(15);
+  const Graph g =
+      gnmRandom(400, 3200, rng, {WeightModel::kExponential, 5000.0}, true);
+  for (std::uint32_t t : {1u, 3u}) {
+    TradeoffParams p;
+    p.k = 8;
+    p.t = t;
+    p.seed = 16;
+    const auto r = buildTradeoffSpanner(g, p);
+    const auto report = verifySpanner(g, r.edges, r.stretchBound,
+                                      {.maxEdgeChecks = 1500, .pairSources = 3});
+    EXPECT_TRUE(report.spanning);
+    EXPECT_EQ(report.violations, 0u) << "t=" << t;
+  }
+}
+
+TEST(TheoryInvariants, IsolatedVerticesAreHarmless) {
+  GraphBuilder b(20);
+  b.addEdge(3, 7, 1.0);
+  b.addEdge(7, 9, 2.0);
+  const Graph g = b.build();
+  TradeoffParams p;
+  p.k = 4;
+  p.t = 2;
+  p.seed = 17;
+  const auto r = buildTradeoffSpanner(g, p);
+  EXPECT_EQ(r.edges.size(), 2u);  // a tree: nothing removable
+}
+
+TEST(TheoryInvariants, SizeMonotoneUnderEdgeSampling) {
+  // A spanner never exceeds its input: holds under any sub-workload.
+  Rng rng(19);
+  const Graph g = gnmRandom(300, 3000, rng, {WeightModel::kUniform, 10.0}, true);
+  std::vector<Edge> half;
+  for (EdgeId id = 0; id < g.numEdges(); id += 2) half.push_back(g.edge(id));
+  const Graph g2 = graphFromEdges(g.numVertices(), half);
+  TradeoffParams p;
+  p.k = 6;
+  p.t = 2;
+  p.seed = 20;
+  EXPECT_LE(buildTradeoffSpanner(g2, p).edges.size(), g2.numEdges());
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,127 @@
+#include "spanner/unweighted_fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spanner/verify.hpp"
+
+namespace mpcspan {
+namespace {
+
+TEST(UnweightedFast, RejectsWeightedGraphs) {
+  Rng rng(1);
+  const Graph g = gnmRandom(50, 150, rng, {WeightModel::kUniform, 5.0});
+  EXPECT_THROW(buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.5, .seed = 1}),
+               std::invalid_argument);
+}
+
+TEST(UnweightedFast, RejectsBadGamma) {
+  Rng rng(2);
+  const Graph g = gnmRandom(50, 150, rng);
+  EXPECT_THROW(buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.0, .seed = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(buildUnweightedFastSpanner(g, {.k = 3, .gamma = 1.5, .seed = 1}),
+               std::invalid_argument);
+}
+
+TEST(UnweightedFast, KOneIsIdentity) {
+  Rng rng(3);
+  const Graph g = gnmRandom(40, 80, rng);
+  const auto r = buildUnweightedFastSpanner(g, {.k = 1, .gamma = 0.5, .seed = 1});
+  EXPECT_EQ(r.spanner.edges.size(), g.numEdges());
+}
+
+TEST(UnweightedFast, SparseDensePartitionCoversAll) {
+  Rng rng(4);
+  const Graph g = gnmRandom(600, 3000, rng, {}, true);
+  const auto r = buildUnweightedFastSpanner(g, {.k = 2, .gamma = 0.4, .seed = 2});
+  EXPECT_EQ(r.sparseVertices + r.denseVertices, g.numVertices());
+  EXPECT_GT(r.ballCap, 0u);
+}
+
+TEST(UnweightedFast, DenseRandomGraphGetsDenseVertices) {
+  // n=600 with avg degree 10 and a small cap: (8k)-hop balls explode, so
+  // most vertices classify dense and the hitting-set machinery engages.
+  Rng rng(5);
+  const Graph g = gnmRandom(600, 3000, rng, {}, true);
+  const auto r = buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.3, .seed = 3});
+  EXPECT_GT(r.denseVertices, 0u);
+  EXPECT_GT(r.hittingSetSize, 0u);
+}
+
+TEST(UnweightedFast, StretchWithinCertifiedBound) {
+  Rng rng(6);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = gnmRandom(500, 2500, rng, {}, true);
+    const auto r =
+        buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.5, .seed = seed});
+    const auto report =
+        verifySpanner(g, r.spanner.edges, r.spanner.stretchBound,
+                      {.maxEdgeChecks = 1200, .pairSources = 4});
+    EXPECT_TRUE(report.spanning) << "seed=" << seed;
+    EXPECT_EQ(report.violations, 0u)
+        << "seed=" << seed << " max=" << report.maxEdgeStretch << " bound="
+        << r.spanner.stretchBound;
+  }
+}
+
+TEST(UnweightedFast, PathGraphAllSparse) {
+  // Bounded-degree path: every (4k)-ball has <= 8k+1 = 17 vertices, below
+  // the cap n^{gamma/2} = 1000^{0.45} ~ 23, so every vertex is sparse and
+  // the output is the Baswana-Sen spanner = all edges (a path is a tree).
+  Rng rng(7);
+  const Graph g = pathGraph(1000, rng);
+  const auto r = buildUnweightedFastSpanner(g, {.k = 2, .gamma = 0.9, .seed = 4});
+  EXPECT_EQ(r.denseVertices, 0u);
+  EXPECT_EQ(r.spanner.edges.size(), g.numEdges());  // path = tree
+}
+
+TEST(UnweightedFast, StarGraphDenseCenter) {
+  // A big star: the 1-ball of every vertex is the whole graph, so with a
+  // small cap everyone is dense; the spanner must still span.
+  Rng rng(8);
+  const Graph g = starGraph(400, rng);
+  const auto r = buildUnweightedFastSpanner(g, {.k = 2, .gamma = 0.3, .seed = 5});
+  const auto report = verifySpanner(g, r.spanner.edges, r.spanner.stretchBound,
+                                    {.maxEdgeChecks = 400, .pairSources = 2});
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(UnweightedFast, SizeWithinTheorem13Bound) {
+  Rng rng(9);
+  const std::size_t n = 800;
+  const Graph g = gnmRandom(n, 8000, rng, {}, true);
+  const std::uint32_t k = 4;
+  const auto r = buildUnweightedFastSpanner(g, {.k = k, .gamma = 0.5, .seed = 6});
+  // Theorem 1.3: O(n^{1+1/k} * k); slack 8 covers the forest and aux parts.
+  const double bound =
+      8.0 * k * std::pow(static_cast<double>(n), 1.0 + 1.0 / k);
+  EXPECT_LT(static_cast<double>(r.spanner.edges.size()), bound);
+}
+
+TEST(UnweightedFast, RoundLedgerScalesWithLogK) {
+  Rng rng(10);
+  const Graph g = gnmRandom(400, 2000, rng, {}, true);
+  const auto r2 = buildUnweightedFastSpanner(g, {.k = 2, .gamma = 0.5, .seed = 7});
+  const auto r16 = buildUnweightedFastSpanner(g, {.k = 16, .gamma = 0.5, .seed = 7});
+  const long e2 = r2.spanner.cost.invocations(Prim::kExponentiation);
+  const long e16 = r16.spanner.cost.invocations(Prim::kExponentiation);
+  // Exponentiation steps = ceil(log2(4k+1)): 4 for k=2, 7 for k=16.
+  EXPECT_EQ(e2, 4);
+  EXPECT_EQ(e16, 7);
+}
+
+TEST(UnweightedFast, DeterministicGivenSeed) {
+  Rng rng(11);
+  const Graph g = gnmRandom(300, 1500, rng, {}, true);
+  const auto a = buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.4, .seed = 9});
+  const auto b = buildUnweightedFastSpanner(g, {.k = 3, .gamma = 0.4, .seed = 9});
+  EXPECT_EQ(a.spanner.edges, b.spanner.edges);
+  EXPECT_EQ(a.hittingSetSize, b.hittingSetSize);
+}
+
+}  // namespace
+}  // namespace mpcspan

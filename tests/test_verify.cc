@@ -1,0 +1,105 @@
+#include "spanner/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace mpcspan {
+namespace {
+
+std::vector<EdgeId> allEdges(const Graph& g) {
+  std::vector<EdgeId> ids(g.numEdges());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(Verify, FullGraphHasStretchOne) {
+  Rng rng(1);
+  const Graph g = gnmRandom(100, 400, rng, {WeightModel::kUniform, 10.0}, true);
+  const auto report = verifySpanner(g, allEdges(g), 1.0);
+  EXPECT_TRUE(report.spanning);
+  EXPECT_EQ(report.edgesChecked, 0u);  // nothing missing to audit
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(Verify, DetectsKnownDetour) {
+  // Triangle with weights 1,1,3: dropping the weight-3 edge leaves a detour
+  // of 2/3 of its weight -> stretch 2/3 < 1. Dropping a weight-1 edge
+  // leaves detour 4 -> stretch 4. Builder sorts edges by endpoints:
+  // id 0 = (0,1,w1), id 1 = (0,2,w3), id 2 = (1,2,w1).
+  GraphBuilder b(3);
+  b.addEdge(0, 1, 1.0);
+  b.addEdge(1, 2, 1.0);
+  b.addEdge(0, 2, 3.0);
+  const Graph g = b.build();
+  {
+    const auto report = verifySpanner(g, {0, 2}, 1.0);  // drop (0,2,3)
+    EXPECT_TRUE(report.spanning);
+    EXPECT_EQ(report.edgesChecked, 1u);
+    EXPECT_NEAR(report.maxEdgeStretch, 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(report.violations, 0u);
+  }
+  {
+    const auto report = verifySpanner(g, {1, 2}, 3.0);  // drop 0-1
+    EXPECT_NEAR(report.maxEdgeStretch, 4.0, 1e-12);
+    EXPECT_EQ(report.violations, 1u);  // 4 > bound 3
+  }
+}
+
+TEST(Verify, DisconnectedSpannerReported) {
+  Rng rng(2);
+  const Graph g = cycleGraph(6, rng);
+  // Remove two edges -> the cycle splits.
+  const auto report = verifySpanner(g, {0, 1, 2, 3}, 100.0);
+  EXPECT_FALSE(report.spanning);
+  EXPECT_EQ(report.maxEdgeStretch, std::numeric_limits<double>::infinity());
+}
+
+TEST(Verify, EdgeSamplingCapsWork) {
+  Rng rng(3);
+  const Graph g = gnmRandom(200, 2000, rng, {}, true);
+  // Empty spanner of a connected graph: everything is a violation, but we
+  // only audit maxEdgeChecks of them.
+  std::vector<EdgeId> half;
+  for (EdgeId i = 0; i < g.numEdges(); i += 2) half.push_back(i);
+  const auto report =
+      verifySpanner(g, half, 1000.0, {.maxEdgeChecks = 50, .pairSources = 0});
+  EXPECT_EQ(report.edgesChecked, 50u);
+  EXPECT_EQ(report.pairsChecked, 0u);
+}
+
+TEST(Verify, PairAuditMatchesEdgeAuditOnTree) {
+  Rng rng(4);
+  const Graph g = pathGraph(50, rng, {WeightModel::kUniform, 4.0});
+  const auto report = verifySpanner(g, allEdges(g), 1.0, {.pairSources = 6});
+  EXPECT_GT(report.pairsChecked, 0u);
+  EXPECT_NEAR(report.maxPairStretch, 1.0, 1e-9);
+}
+
+TEST(Verify, MeasurePairStretchInfinityOnBrokenSpanner) {
+  Rng rng(5);
+  const Graph g = cycleGraph(8, rng);
+  EXPECT_EQ(measurePairStretch(g, {0, 1, 2, 3, 4, 5}, 4, 1),
+            std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(measurePairStretch(g, allEdges(g), 4, 1), 1.0, 1e-9);
+}
+
+TEST(Verify, MeanStretchBetweenOneAndMax) {
+  Rng rng(6);
+  const Graph g = gnmRandom(150, 900, rng, {WeightModel::kUniform, 8.0}, true);
+  // Keep a spanning tree plus some edges: use all edges except every 3rd.
+  std::vector<EdgeId> keep;
+  for (EdgeId i = 0; i < g.numEdges(); ++i)
+    if (i % 3 != 0) keep.push_back(i);
+  const auto report = verifySpanner(g, keep, 1e9);
+  if (report.spanning && report.edgesChecked > 0) {
+    EXPECT_LE(report.meanEdgeStretch, report.maxEdgeStretch + 1e-9);
+    EXPECT_GT(report.meanEdgeStretch, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -1,0 +1,147 @@
+// mpcspan — command-line spanner builder.
+//
+// Reads a graph (edge-list file or generated family), runs the chosen
+// spanner algorithm, reports the execution profile, optionally audits the
+// stretch and writes the spanner as an edge list.
+//
+//   mpcspan --family gnm --n 10000 --deg 12 --weights uniform
+//           --algo tradeoff --k 8 --t 0 --verify --out spanner.txt
+//   mpcspan --input graph.txt --algo baswana-sen --k 4
+#include <cstdio>
+#include <string>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/cluster_merging.hpp"
+#include "spanner/sqrtk.hpp"
+#include "spanner/tradeoff.hpp"
+#include "spanner/unweighted_fast.hpp"
+#include "spanner/verify.hpp"
+#include "util/args.hpp"
+
+using namespace mpcspan;
+
+namespace {
+
+Graph loadGraph(const ArgParser& args) {
+  if (args.has("input")) return readEdgeListFile(args.get("input"));
+  const auto n = static_cast<std::size_t>(args.getInt("n"));
+  const double deg = args.getDouble("deg");
+  WeightSpec weights;
+  const std::string wm = args.get("weights");
+  if (wm == "uniform")
+    weights = {WeightModel::kUniform, args.getDouble("wmax")};
+  else if (wm == "integer")
+    weights = {WeightModel::kInteger, args.getDouble("wmax")};
+  else if (wm == "exponential")
+    weights = {WeightModel::kExponential, args.getDouble("wmax")};
+  else if (wm != "unit")
+    throw std::invalid_argument("unknown --weights: " + wm);
+
+  const std::string fam = args.get("family");
+  Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));
+  for (Family f : {Family::kGnm, Family::kBarabasiAlbert, Family::kGrid,
+                   Family::kGeometric, Family::kCycle, Family::kHypercube,
+                   Family::kComplete})
+    if (fam == familyName(f)) return makeFamily(f, n, deg, rng, weights);
+  throw std::invalid_argument("unknown --family: " + fam);
+}
+
+SpannerResult runAlgorithm(const ArgParser& args, const Graph& g) {
+  const auto k = static_cast<std::uint32_t>(args.getInt("k"));
+  const auto t = static_cast<std::uint32_t>(args.getInt("t"));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  const std::string algo = args.get("algo");
+  if (algo == "baswana-sen") return buildBaswanaSen(g, {.k = k, .seed = seed});
+  if (algo == "cluster-merging")
+    return buildClusterMergingSpanner(g, {.k = k, .seed = seed});
+  if (algo == "sqrtk") return buildSqrtKSpanner(g, {.k = k, .seed = seed});
+  if (algo == "tradeoff") {
+    TradeoffParams p;
+    p.k = k;
+    p.t = t;
+    p.seed = seed;
+    return buildTradeoffSpanner(g, p);
+  }
+  if (algo == "unweighted-fast") {
+    UnweightedFastParams p;
+    p.k = k;
+    p.gamma = args.getDouble("gamma");
+    p.seed = seed;
+    return buildUnweightedFastSpanner(g, p).spanner;
+  }
+  throw std::invalid_argument("unknown --algo: " + algo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("mpcspan", "spanner construction CLI (SPAA 2021 reproduction)");
+  args.flag("input", "", "edge-list file (overrides --family)")
+      .flag("family", "gnm", "generator: gnm|barabasi-albert|grid|geometric|cycle|hypercube|complete")
+      .flag("n", "10000", "vertices (generated graphs)")
+      .flag("deg", "12", "target average degree (generated graphs)")
+      .flag("weights", "uniform", "unit|uniform|integer|exponential")
+      .flag("wmax", "100", "max weight for non-unit models")
+      .flag("algo", "tradeoff",
+            "baswana-sen|cluster-merging|sqrtk|tradeoff|unweighted-fast")
+      .flag("k", "8", "stretch parameter")
+      .flag("t", "0", "trade-off growth iterations (0 = log k)")
+      .flag("gamma", "0.5", "machine-memory exponent (round conversion; unweighted-fast)")
+      .flag("seed", "1", "random seed")
+      .flag("verify", "false", "audit stretch (sampled) before exiting")
+      .flag("out", "", "write the spanner as an edge list to this path");
+
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(), args.usage().c_str());
+    return 2;
+  }
+  if (args.helpRequested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+
+  try {
+    const Graph g = loadGraph(args);
+    std::fprintf(stdout, "graph: n=%zu m=%zu %s\n", g.numVertices(), g.numEdges(),
+                 g.isUnweighted() ? "(unweighted)" : "(weighted)");
+    const SpannerResult r = runAlgorithm(args, g);
+    std::fprintf(stdout,
+                 "%s: %zu edges (%.1f%%), k=%u, %zu iterations / %zu epochs\n",
+                 r.algorithm.c_str(), r.edges.size(),
+                 g.numEdges()
+                     ? 100.0 * static_cast<double>(r.edges.size()) /
+                           static_cast<double>(g.numEdges())
+                     : 0.0,
+                 r.k, r.iterations, r.epochs);
+    const double gamma = args.getDouble("gamma");
+    std::fprintf(stdout,
+                 "rounds: %ld MPC (gamma=%.2f) | %ld near-linear | %ld clique\n",
+                 r.cost.mpcRounds(gamma), gamma, r.cost.nearLinearRounds(),
+                 r.cost.cliqueRounds());
+    std::fprintf(stdout, "certified stretch <= %.1f; ledger: %s\n", r.stretchBound,
+                 r.cost.ledgerString().c_str());
+
+    if (args.getBool("verify")) {
+      const StretchReport report = verifySpanner(
+          g, r.edges, r.stretchBound, {.maxEdgeChecks = 4000, .pairSources = 4});
+      std::fprintf(stdout,
+                   "audit: spanning=%s maxEdgeStretch=%.2f maxPairStretch=%.2f "
+                   "violations=%zu\n",
+                   report.spanning ? "yes" : "NO", report.maxEdgeStretch,
+                   report.maxPairStretch, report.violations);
+      if (!report.spanning || report.violations > 0) return 1;
+    }
+    if (args.has("out")) {
+      const Graph h = subgraph(g, r.edges);
+      writeEdgeListFile(h, args.get("out"));
+      std::fprintf(stdout, "spanner written to %s\n", args.get("out").c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
