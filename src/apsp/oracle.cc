@@ -1,5 +1,7 @@
 #include "apsp/oracle.hpp"
 
+#include <algorithm>
+
 #include "graph/connectivity.hpp"
 #include "graph/distance.hpp"
 
@@ -10,6 +12,26 @@ SpannerDistanceOracle::SpannerDistanceOracle(const Graph& g, SpannerResult spann
     : spanner_(std::move(spanner)),
       h_(subgraph(g, spanner_.edges)),
       cacheSources_(cacheSources) {}
+
+void SpannerDistanceOracle::warm(const std::vector<VertexId>& sources,
+                                 runtime::ThreadPool& pool) {
+  std::vector<VertexId> missing;
+  missing.reserve(sources.size());
+  for (VertexId s : sources)
+    if (cache_.find(s) == cache_.end() &&
+        std::find(missing.begin(), missing.end(), s) == missing.end())
+      missing.push_back(s);
+  // Never compute more than the cache retains, and evict at most once, up
+  // front — mid-batch eviction would discard results computed moments ago.
+  if (missing.size() > cacheSources_) missing.resize(cacheSources_);
+  if (missing.empty()) return;
+  if (cache_.size() + missing.size() > cacheSources_) cache_.clear();
+  std::vector<std::vector<Weight>> dist(missing.size());
+  pool.parallelFor(missing.size(),
+                   [&](std::size_t i) { dist[i] = dijkstra(h_, missing[i]); });
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    cache_.emplace(missing[i], std::move(dist[i]));
+}
 
 const std::vector<Weight>& SpannerDistanceOracle::distancesFrom(VertexId src) {
   auto it = cache_.find(src);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/thread_pool.hpp"
 #include "spanner/types.hpp"
 
 namespace mpcspan {
@@ -29,6 +30,15 @@ class SpannerDistanceOracle {
 
   /// All approximate distances from src (cached).
   const std::vector<Weight>& distancesFrom(VertexId src);
+
+  /// Fills the cache for `sources` with one Dijkstra per source, run in
+  /// parallel on `pool` — the "every node computes locally at once" step of
+  /// the APSP applications. Insertion order follows `sources`, independent
+  /// of the thread count. At most `cacheSources` entries are warmed: the
+  /// cache never computes more than it can retain, so sources past the cap
+  /// fall back to lazy computation in distancesFrom (which, past the cap,
+  /// evicts by clearing — batch accordingly).
+  void warm(const std::vector<VertexId>& sources, runtime::ThreadPool& pool);
 
   /// Memory footprint of the spanner in words (2 per edge), the quantity
   /// that must fit one machine in the near-linear regime.

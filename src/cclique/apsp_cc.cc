@@ -29,12 +29,14 @@ CcApspResult runCcApsp(const Graph& g, const CcApspParams& params) {
   sp.k = out.kUsed;
   sp.t = out.tUsed;
   sp.seed = params.seed;
+  sp.threads = params.threads;
   out.spanner = buildCcSpanner(g, sp);
   out.spannerRounds = out.spanner.cost.cliqueRounds();
 
   // Collection: every node learns the spanner (2 words per edge) at n-1
   // incoming words per round.
-  CongestedClique clique(g.numVertices() == 0 ? 1 : g.numVertices());
+  CongestedClique clique(g.numVertices() == 0 ? 1 : g.numVertices(),
+                         params.threads);
   out.collectRounds =
       static_cast<long>(clique.collectToAll(2 * out.spanner.edges.size()));
   out.totalRounds = out.spannerRounds + out.collectRounds;

@@ -15,6 +15,9 @@ struct CcApspParams {
   std::uint32_t k = 0;  // 0 selects ceil(log2 n)
   std::uint32_t t = 0;  // 0 selects ceil(log2 log2 n)
   std::uint64_t seed = 1;
+  /// Lanes of the round-engine pool (0 = runtime default); output is
+  /// identical for every value.
+  std::size_t threads = 0;
 };
 
 struct CcApspResult {

@@ -1,31 +1,44 @@
 #include "cclique/clique.hpp"
 
-#include <string>
+#include <memory>
+#include <stdexcept>
 
 namespace mpcspan {
 
-CongestedClique::CongestedClique(std::size_t n) : n_(n) {
-  if (n_ == 0) throw std::invalid_argument("CongestedClique: n must be positive");
+namespace {
+
+std::size_t checkedNodes(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("CongestedClique: n must be positive");
+  return n;
 }
+
+}  // namespace
+
+CongestedClique::CongestedClique(std::size_t n, std::size_t threads)
+    : n_(checkedNodes(n)),
+      engine_(runtime::EngineConfig{n, threads},
+              std::make_unique<runtime::CliqueTopology>()) {}
 
 std::vector<std::vector<std::pair<VertexId, Word>>> CongestedClique::directRound(
     const std::vector<Msg>& msgs) {
-  // Per ordered pair at most one message.
-  std::vector<std::vector<std::pair<VertexId, Word>>> inbox(n_);
-  std::vector<std::vector<char>> usedRow(n_);  // lazily sized
+  std::vector<std::vector<runtime::Message>> outboxes(n_);
+  std::vector<std::size_t> perSrc(n_, 0);
   for (const Msg& m : msgs) {
     if (m.src >= n_ || m.dst >= n_)
       throw std::invalid_argument("CongestedClique: node id out of range");
-    auto& row = usedRow[m.src];
-    if (row.empty()) row.assign(n_, 0);
-    if (row[m.dst])
-      throw CapacityError("CongestedClique: pair (" + std::to_string(m.src) + "," +
-                          std::to_string(m.dst) + ") used twice in one round");
-    row[m.dst] = 1;
-    inbox[m.dst].emplace_back(m.src, m.payload);
+    ++perSrc[m.src];
   }
-  ++rounds_;
-  words_ += msgs.size();
+  for (std::size_t v = 0; v < n_; ++v) outboxes[v].reserve(perSrc[v]);
+  for (const Msg& m : msgs) outboxes[m.src].push_back({m.dst, {m.payload}});
+  const std::vector<std::vector<runtime::Delivery>> delivered =
+      engine_.exchange(std::move(outboxes));
+
+  std::vector<std::vector<std::pair<VertexId, Word>>> inbox(n_);
+  engine_.parallelFor(n_, [&](std::size_t v) {
+    inbox[v].reserve(delivered[v].size());
+    for (const runtime::Delivery& d : delivered[v])
+      inbox[v].emplace_back(static_cast<VertexId>(d.src), d.payload.front());
+  });
   return inbox;
 }
 
@@ -41,8 +54,8 @@ void CongestedClique::lenzenRoute(const std::vector<std::size_t>& sendPerNode,
       throw CapacityError("Lenzen routing: node receives more than n words");
     total += sendPerNode[v];
   }
-  rounds_ += 2;  // [Len13]: O(1) rounds, deterministically 2 phases
-  words_ += total;
+  engine_.chargeRounds(2);  // [Len13]: O(1) rounds, deterministically 2 phases
+  engine_.chargeTraffic(total);
 }
 
 std::size_t CongestedClique::collectToAll(std::size_t totalWords) {
@@ -50,8 +63,8 @@ std::size_t CongestedClique::collectToAll(std::size_t totalWords) {
   // one round to spread the payload evenly first.
   const std::size_t perRound = n_ > 1 ? n_ - 1 : 1;
   const std::size_t r = 1 + (totalWords + perRound - 1) / perRound;
-  rounds_ += r;
-  words_ += totalWords * n_;
+  engine_.chargeRounds(r);
+  engine_.chargeTraffic(totalWords * n_);
   return r;
 }
 

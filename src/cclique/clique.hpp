@@ -1,9 +1,10 @@
-// Congested Clique simulator (Section 8).
+// Congested Clique simulator (Section 8) — a thin facade over
+// runtime::RoundEngine with a CliqueTopology.
 //
 // n nodes; in one synchronous round every ordered pair may exchange one
-// Theta(log n)-bit message (one machine word here). The simulator enforces
-// the per-pair limit, counts rounds and words, and provides the two routing
-// facilities the paper relies on:
+// Theta(log n)-bit message (one machine word here). The engine enforces the
+// per-pair limit, counts rounds and words, and delivers deterministically;
+// this facade adds the two routing facilities the paper relies on:
 //   - Lenzen's routing [Len13]: any instance where each node sends and
 //     receives at most n words completes in O(1) rounds (we charge 2).
 //   - spanner collection: every node learns a payload of W words in
@@ -12,21 +13,23 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
-#include "mpc/simulator.hpp"  // reuses Word and CapacityError
+#include "runtime/round_engine.hpp"
 
 namespace mpcspan {
 
 class CongestedClique {
  public:
-  explicit CongestedClique(std::size_t n);
+  /// `threads` is forwarded to the round engine's stepping pool (0 selects
+  /// the default; see runtime::EngineConfig).
+  explicit CongestedClique(std::size_t n, std::size_t threads = 0);
 
   std::size_t numNodes() const { return n_; }
-  std::size_t rounds() const { return rounds_; }
-  std::size_t totalWords() const { return words_; }
+  std::size_t rounds() const { return engine_.rounds(); }
+  std::size_t totalWords() const { return engine_.totalWordsSent(); }
 
   struct Msg {
     VertexId src;
@@ -35,7 +38,7 @@ class CongestedClique {
   };
 
   /// One direct round: at most one word per ordered (src,dst) pair.
-  /// Returns per-node inboxes as (src, payload) pairs.
+  /// Returns per-node inboxes as (src, payload) pairs in sender order.
   std::vector<std::vector<std::pair<VertexId, Word>>> directRound(
       const std::vector<Msg>& msgs);
 
@@ -53,12 +56,14 @@ class CongestedClique {
   /// One broadcast round: each node sends one word to all others.
   void broadcastRound() { chargeRounds(1); }
 
-  void chargeRounds(std::size_t r) { rounds_ += r; }
+  void chargeRounds(std::size_t r) { engine_.chargeRounds(r); }
+
+  /// The underlying substrate (clique topology).
+  runtime::RoundEngine& engine() { return engine_; }
 
  private:
   std::size_t n_;
-  std::size_t rounds_ = 0;
-  std::size_t words_ = 0;
+  runtime::RoundEngine engine_;
 };
 
 }  // namespace mpcspan

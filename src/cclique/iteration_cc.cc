@@ -1,0 +1,105 @@
+#include "cclique/iteration_cc.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mpcspan {
+
+namespace {
+
+/// Words per candidate tuple when shipped to its super-node representative
+/// (key, weight, edge id).
+constexpr std::size_t kTupleWords = 3;
+
+}  // namespace
+
+DistIterationResult cliqueIterationKernel(CongestedClique& cc, const Graph& g,
+                                          const std::vector<VertexId>& superOf,
+                                          const std::vector<VertexId>& clusterOf,
+                                          const std::vector<char>& sampled,
+                                          const std::vector<char>* alive) {
+  const std::size_t n = g.numVertices();
+  if (cc.numNodes() < n)
+    throw std::invalid_argument("cliqueIterationKernel: clique smaller than graph");
+  const std::size_t startRounds = cc.rounds();
+
+  auto labelOf = [&](VertexId v) -> Word {
+    const VertexId s = superOf[v];
+    const VertexId c = s == kNoVertex ? kNoVertex : clusterOf[s];
+    return (static_cast<Word>(s) << 32) | c;
+  };
+
+  // 1. Label round: each alive edge carries one label word in each
+  // direction. Parallel edges would reuse an ordered pair with the same
+  // label word, so deduplicate per pair — one word per pair per round.
+  std::vector<CongestedClique::Msg> msgs;
+  msgs.reserve(2 * g.numEdges());
+  std::unordered_set<std::uint64_t> sentPair;
+  sentPair.reserve(2 * g.numEdges());
+  for (EdgeId id = 0; id < g.numEdges(); ++id) {
+    if (alive && !(*alive)[id]) continue;
+    const Edge& e = g.edge(id);
+    if (sentPair.insert((static_cast<std::uint64_t>(e.u) << 32) | e.v).second) {
+      msgs.push_back({e.u, e.v, labelOf(e.u)});
+      msgs.push_back({e.v, e.u, labelOf(e.v)});
+    }
+  }
+  const auto inbox = cc.directRound(msgs);
+
+  // 2. Local candidates: each processing vertex derives, from its incident
+  // weights and the received labels, one tuple per alive edge to a foreign
+  // cluster — the same tuples the MPC kernel ships, keyed by the vertex's
+  // super-node, so the shared reduction yields identical group minima.
+  std::vector<CandTuple> cands;
+  std::vector<std::size_t> sendPerNode(cc.numNodes(), 0);
+  std::vector<std::size_t> recvPerNode(cc.numNodes(), 0);
+  std::vector<VertexId> repOf;  // super-node -> representative (lowest member)
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId sv = superOf[v];
+    if (sv == kNoVertex) continue;
+    if (repOf.size() <= sv) repOf.resize(sv + 1, kNoVertex);
+    if (repOf[sv] == kNoVertex) repOf[sv] = v;
+    const VertexId cv = clusterOf[sv];
+    if (cv == kNoVertex || sampled[cv]) continue;  // not processing
+    std::unordered_map<VertexId, Word> labels;
+    labels.reserve(inbox[v].size());
+    for (const auto& [src, word] : inbox[v]) labels.emplace(src, word);
+    std::size_t produced = 0;
+    for (const Incidence& inc : g.neighbors(v)) {
+      if (alive && !(*alive)[inc.edge]) continue;
+      const auto it = labels.find(inc.to);
+      if (it == labels.end()) continue;
+      const VertexId su = static_cast<VertexId>(it->second >> 32);
+      const VertexId cu = static_cast<VertexId>(it->second & 0xffffffffu);
+      if (su == kNoVertex || cu == kNoVertex || cu == cv) continue;
+      cands.push_back({packGroupKey(sv, cu), g.edge(inc.edge).w, inc.edge});
+      ++produced;
+    }
+    sendPerNode[v] = kTupleWords * produced;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId sv = superOf[v];
+    if (sv == kNoVertex || repOf[sv] == kNoVertex) continue;
+    recvPerNode[repOf[sv]] += sendPerNode[v];
+  }
+
+  // 3. Aggregation at the representatives: a Lenzen instance when its
+  // per-node bounds hold, otherwise the sort-based O(1)-round find-minimum
+  // of Lemma 6.1 (charged at coarser granularity, like lenzenRoute).
+  bool lenzenOk = true;
+  for (std::size_t v = 0; v < cc.numNodes() && lenzenOk; ++v)
+    lenzenOk = sendPerNode[v] <= cc.numNodes() && recvPerNode[v] <= cc.numNodes();
+  if (lenzenOk) {
+    cc.lenzenRoute(sendPerNode, recvPerNode);
+  } else {
+    cc.chargeRounds(4);
+    cc.engine().chargeTraffic(kTupleWords * cands.size());
+  }
+
+  DistIterationResult out = reduceCandidates(cands, sampled);
+  out.roundsUsed = cc.rounds() - startRounds;
+  return out;
+}
+
+}  // namespace mpcspan

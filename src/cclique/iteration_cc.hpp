@@ -1,0 +1,37 @@
+// One spanner growth iteration's find-minimum work in the Congested Clique
+// (Section 8): the third substrate of the cross-model equivalence.
+//
+// Each graph vertex is a clique node and holds its incident edges. The
+// kernel runs:
+//   1. one label round — every active vertex sends its packed
+//      (super-node, cluster) label to each alive neighbour as a real
+//      one-word message through the clique RoundEngine (one word per
+//      ordered pair: legal in a single round on a simple graph);
+//   2. local candidate computation — from its incident weights and the
+//      received labels, each node derives its candidate tuples;
+//   3. per-super-node aggregation — members ship their candidates to the
+//      super-node's representative. The cost is accounted as a Lenzen
+//      routing instance when feasible (per-node send/receive <= n), else
+//      as an O(1)-round sort-based find-minimum (Lemma 6.1); the reduction
+//      itself is the shared deterministic reduceCandidates.
+//
+// The result is bit-identical to referenceIterationKernel and
+// distIterationKernel on the same input — asserted by
+// tests/test_dist_iteration.cc.
+#pragma once
+
+#include <vector>
+
+#include "cclique/clique.hpp"
+#include "graph/graph.hpp"
+#include "spanner/growth_kernel.hpp"
+
+namespace mpcspan {
+
+DistIterationResult cliqueIterationKernel(CongestedClique& cc, const Graph& g,
+                                          const std::vector<VertexId>& superOf,
+                                          const std::vector<VertexId>& clusterOf,
+                                          const std::vector<char>& sampled,
+                                          const std::vector<char>* alive = nullptr);
+
+}  // namespace mpcspan

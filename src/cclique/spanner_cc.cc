@@ -9,12 +9,14 @@
 namespace mpcspan {
 
 RepetitionSamplingPolicy::RepetitionSamplingPolicy(std::uint64_t seed, std::size_t n,
-                                                   Thresholds thresholds)
+                                                   Thresholds thresholds,
+                                                   runtime::ThreadPool* pool)
     : seed_(seed),
       repetitions_(static_cast<std::size_t>(
           std::ceil(3.0 * std::log2(static_cast<double>(std::max<std::size_t>(n, 4)))))),
       logN_(std::log(static_cast<double>(std::max<std::size_t>(n, 3)))),
-      thresholds_(thresholds) {}
+      thresholds_(thresholds),
+      pool_(pool) {}
 
 std::vector<char> RepetitionSamplingPolicy::choose(
     const std::vector<char>& rootActive, double p, std::uint64_t drawKey,
@@ -22,27 +24,47 @@ std::vector<char> RepetitionSamplingPolicy::choose(
     SpannerResult::RepetitionStats& stats) {
   std::vector<char> bestDraw;
   std::size_t bestEdges = static_cast<std::size_t>(-1);
-  for (std::size_t rep = 0; rep < repetitions_; ++rep) {
-    const std::uint64_t repSeed = seed_ ^ mix64(0xabcdef12u + rep);
-    std::vector<char> draw = HashCoinPolicy::draw(rootActive, p, repSeed, drawKey);
-    ++stats.totalDraws;
-    const IterPlanStats plan = dryRun(draw);
-    const double clusterBound =
-        thresholds_.clusterSlack * p * static_cast<double>(plan.totalClusters) +
-        thresholds_.logTerm * logN_;
-    const double edgeBound =
-        p > 0 ? thresholds_.edgeSlack *
-                    (static_cast<double>(plan.activeSupernodes) / p + 1.0)
-              : static_cast<double>(plan.activeSupernodes);
-    const bool clustersOk = static_cast<double>(plan.sampledClusters) <= clusterBound;
-    const bool edgesOk = static_cast<double>(plan.edgesAdded) <= edgeBound;
-    if (clustersOk && edgesOk) {
-      if (rep > 0) ++stats.iterationsWithRetry;
-      return draw;
-    }
-    if (plan.edgesAdded < bestEdges) {
-      bestEdges = plan.edgesAdded;
-      bestDraw = std::move(draw);
+  // One wave of draws is dry-run at a time (in parallel when a pool is
+  // attached — dryRun is a const plan computation, safe to run
+  // concurrently). Commit = lowest acceptable index, and only draws up to
+  // that index are accounted, so stats and output match the wave-of-one
+  // sequential evaluation exactly.
+  const std::size_t wave =
+      pool_ ? std::max<std::size_t>(1, pool_->numThreads()) : 1;
+  for (std::size_t base = 0; base < repetitions_; base += wave) {
+    const std::size_t cnt = std::min(wave, repetitions_ - base);
+    std::vector<std::vector<char>> draws(cnt);
+    std::vector<IterPlanStats> plans(cnt);
+    auto eval = [&](std::size_t i) {
+      const std::uint64_t repSeed = seed_ ^ mix64(0xabcdef12u + (base + i));
+      draws[i] = HashCoinPolicy::draw(rootActive, p, repSeed, drawKey);
+      plans[i] = dryRun(draws[i]);
+    };
+    if (pool_ && cnt > 1)
+      pool_->parallelFor(cnt, eval);
+    else
+      for (std::size_t i = 0; i < cnt; ++i) eval(i);
+
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const IterPlanStats& plan = plans[i];
+      ++stats.totalDraws;
+      const double clusterBound =
+          thresholds_.clusterSlack * p * static_cast<double>(plan.totalClusters) +
+          thresholds_.logTerm * logN_;
+      const double edgeBound =
+          p > 0 ? thresholds_.edgeSlack *
+                      (static_cast<double>(plan.activeSupernodes) / p + 1.0)
+                : static_cast<double>(plan.activeSupernodes);
+      const bool clustersOk = static_cast<double>(plan.sampledClusters) <= clusterBound;
+      const bool edgesOk = static_cast<double>(plan.edgesAdded) <= edgeBound;
+      if (clustersOk && edgesOk) {
+        if (base + i > 0) ++stats.iterationsWithRetry;
+        return std::move(draws[i]);
+      }
+      if (plan.edgesAdded < bestEdges) {
+        bestEdges = plan.edgesAdded;
+        bestDraw = std::move(draws[i]);
+      }
     }
   }
   ++fallbacks_;
@@ -52,7 +74,9 @@ std::vector<char> RepetitionSamplingPolicy::choose(
 
 SpannerResult buildCcSpanner(const Graph& g, const CcSpannerParams& params) {
   if (params.k <= 1) return identitySpanner(g, "cc-spanner");
-  RepetitionSamplingPolicy policy(params.seed, g.numVertices());
+  runtime::ThreadPool pool(params.threads);
+  RepetitionSamplingPolicy policy(params.seed, g.numVertices(),
+                                  RepetitionThresholds(), &pool);
 
   TradeoffParams tp;
   tp.k = params.k;

@@ -15,9 +15,16 @@
 // each, and commits the first one satisfying both envelopes (falling back
 // to the minimum-edges draw if none does — never observed in practice, but
 // the algorithm must terminate).
+//
+// The model runs all R samplings *simultaneously*; with a runtime thread
+// pool attached, the policy mirrors that by dry-running a wave of draws in
+// parallel and committing the lowest acceptable index — the committed draw
+// and the reported stats are bit-identical to the sequential evaluation for
+// every thread count (draws past the accepted index stay unaccounted).
 #pragma once
 
 #include "graph/graph.hpp"
+#include "runtime/thread_pool.hpp"
 #include "spanner/engine.hpp"
 #include "spanner/types.hpp"
 
@@ -34,8 +41,10 @@ class RepetitionSamplingPolicy final : public SamplingPolicy {
  public:
   using Thresholds = RepetitionThresholds;
 
+  /// `pool` (optional, not owned) parallelizes the dry-run waves.
   RepetitionSamplingPolicy(std::uint64_t seed, std::size_t n,
-                           Thresholds thresholds = Thresholds());
+                           Thresholds thresholds = Thresholds(),
+                           runtime::ThreadPool* pool = nullptr);
 
   std::vector<char> choose(
       const std::vector<char>& rootActive, double p, std::uint64_t drawKey,
@@ -49,6 +58,7 @@ class RepetitionSamplingPolicy final : public SamplingPolicy {
   std::size_t repetitions_;
   double logN_;
   Thresholds thresholds_;
+  runtime::ThreadPool* pool_;
   long fallbacks_ = 0;
 };
 
@@ -56,6 +66,9 @@ struct CcSpannerParams {
   std::uint32_t k = 8;
   std::uint32_t t = 0;  // 0 selects ceil(log2 k), the APSP setting
   std::uint64_t seed = 1;
+  /// Lanes of the dry-run pool (0 = runtime default). Output is identical
+  /// for every value.
+  std::size_t threads = 0;
 };
 
 /// Builds the Theorem 8.1 spanner; cost.cliqueRounds() includes the O(1)

@@ -1,59 +1,10 @@
 #include "mpc/dist_iteration.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "mpc/primitives.hpp"
 
 namespace mpcspan {
-
-namespace {
-
-/// Candidate tuple shipped between machines (trivially copyable).
-struct CandTuple {
-  std::uint64_t key;  // (v << 32) | cluster
-  double w;
-  std::uint32_t id;
-};
-
-std::uint64_t packKey(VertexId v, VertexId cluster) {
-  return (static_cast<std::uint64_t>(v) << 32) | cluster;
-}
-
-/// Candidate edges: one per (processing super-node, incident alive edge).
-/// The label joins (attaching superOf/clusterOf to edge tuples) are the
-/// sort-based "Clustering" superstep of Lemma 6.1, charged separately by
-/// the engine; here they are applied host-side before sharding.
-std::vector<CandTuple> buildCandidates(const Graph& g,
-                                       const std::vector<VertexId>& superOf,
-                                       const std::vector<VertexId>& clusterOf,
-                                       const std::vector<char>& sampled,
-                                       const std::vector<char>* alive) {
-  std::vector<CandTuple> cands;
-  cands.reserve(2 * g.numEdges());
-  auto processing = [&](VertexId s) {
-    return clusterOf[s] != kNoVertex && !sampled[clusterOf[s]];
-  };
-  for (EdgeId id = 0; id < g.numEdges(); ++id) {
-    if (alive && !(*alive)[id]) continue;
-    const Edge& e = g.edge(id);
-    const VertexId su = superOf[e.u];
-    const VertexId sv = superOf[e.v];
-    if (su == kNoVertex || sv == kNoVertex) continue;
-    const VertexId cu = clusterOf[su];
-    const VertexId cv = clusterOf[sv];
-    if (cu == kNoVertex || cv == kNoVertex || cu == cv) continue;
-    if (processing(su)) cands.push_back({packKey(su, cv), e.w, id});
-    if (processing(sv)) cands.push_back({packKey(sv, cu), e.w, id});
-  }
-  return cands;
-}
-
-bool betterCand(const CandTuple& a, const CandTuple& b) {
-  return a.w < b.w || (a.w == b.w && a.id < b.id);
-}
-
-}  // namespace
 
 DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
                                         const std::vector<VertexId>& superOf,
@@ -64,8 +15,8 @@ DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
   const std::size_t startRounds = sim.rounds();
 
   // (1) min edge per (v, cluster): distributed sort + segmented min.
-  std::vector<CandTuple> cands =
-      buildCandidates(g, superOf, clusterOf, sampled, alive);
+  std::vector<CandTuple> cands = buildCandidates(g, superOf, clusterOf, sampled,
+                                                 alive, &sim.engine().pool());
   {
     DistVector<CandTuple> dv(sim, cands);
     distSort(dv, [](const CandTuple& a, const CandTuple& b) {
@@ -87,8 +38,8 @@ DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
   sampledMins.reserve(out.groupMins.size());
   for (const GroupMinEdge& gm : out.groupMins)
     if (sampled[gm.cluster])
-      sampledMins.push_back(
-          {packKey(gm.v, gm.cluster), gm.w, static_cast<std::uint32_t>(gm.id)});
+      sampledMins.push_back({packGroupKey(gm.v, gm.cluster), gm.w,
+                             static_cast<std::uint32_t>(gm.id)});
   {
     DistVector<CandTuple> dv(sim, sampledMins);
     auto keyOf = [](const CandTuple& c) { return c.key >> 32; };  // v only
@@ -113,39 +64,8 @@ DistIterationResult referenceIterationKernel(const Graph& g,
                                              const std::vector<VertexId>& clusterOf,
                                              const std::vector<char>& sampled,
                                              const std::vector<char>* alive) {
-  DistIterationResult out;
-  std::vector<CandTuple> cands =
-      buildCandidates(g, superOf, clusterOf, sampled, alive);
-
-  std::unordered_map<std::uint64_t, CandTuple> groupBest;
-  groupBest.reserve(cands.size());
-  for (const CandTuple& c : cands) {
-    auto [it, inserted] = groupBest.try_emplace(c.key, c);
-    if (!inserted && betterCand(c, it->second)) it->second = c;
-  }
-  for (const auto& [key, c] : groupBest)
-    out.groupMins.push_back(GroupMinEdge{static_cast<VertexId>(key >> 32),
-                                         static_cast<VertexId>(key & 0xffffffffu),
-                                         c.w, c.id});
-  std::sort(out.groupMins.begin(), out.groupMins.end(),
-            [](const GroupMinEdge& a, const GroupMinEdge& b) {
-              if (a.v != b.v) return a.v < b.v;
-              return a.cluster < b.cluster;
-            });
-
-  std::unordered_map<VertexId, ClosestSampled> joinBest;
-  for (const GroupMinEdge& gm : out.groupMins) {
-    if (!sampled[gm.cluster]) continue;
-    const ClosestSampled cs{gm.v, gm.cluster, gm.w, gm.id};
-    auto [it, inserted] = joinBest.try_emplace(gm.v, cs);
-    if (!inserted &&
-        (cs.w < it->second.w || (cs.w == it->second.w && cs.id < it->second.id)))
-      it->second = cs;
-  }
-  for (const auto& [v, cs] : joinBest) out.joins.push_back(cs);
-  std::sort(out.joins.begin(), out.joins.end(),
-            [](const ClosestSampled& a, const ClosestSampled& b) { return a.v < b.v; });
-  return out;
+  return reduceCandidates(buildCandidates(g, superOf, clusterOf, sampled, alive),
+                          sampled);
 }
 
 }  // namespace mpcspan

@@ -1,5 +1,5 @@
 // The spanner iteration's distributed kernel, implemented end-to-end on the
-// word-accurate MPC simulator.
+// word-accurate MPC simulator (a runtime::RoundEngine facade).
 //
 // One growth iteration of the Section-5 algorithm reduces to two group-by
 // minima over the alive edge set (Section 6 / Lemma 6.1):
@@ -10,11 +10,12 @@
 // Both are realized as distSort by key followed by segmentedMinSorted, i.e.
 // real tuples moving through machines with enforced memory limits.
 //
-// ClusterEngine computes the same quantities host-side for speed; the
-// equivalence test (tests/test_dist_iteration.cc) checks that this
-// distributed kernel reproduces the engine's decisions bit-for-bit, which
-// is the library's evidence that the charged O(1/gamma)-round supersteps
-// are implementable exactly as claimed.
+// The record types and the deterministic reduction live in
+// spanner/growth_kernel.hpp, shared with the host reference and the
+// Congested Clique kernel (cclique/iteration_cc.hpp); the equivalence tests
+// (tests/test_dist_iteration.cc) check that all substrates reproduce the
+// same decisions bit-for-bit, which is the library's evidence that the
+// charged O(1/gamma)-round supersteps are implementable exactly as claimed.
 #pragma once
 
 #include <cstdint>
@@ -22,36 +23,9 @@
 
 #include "graph/graph.hpp"
 #include "mpc/simulator.hpp"
+#include "spanner/growth_kernel.hpp"
 
 namespace mpcspan {
-
-/// Minimum-weight edge of a (super-node, cluster) group.
-struct GroupMinEdge {
-  VertexId v = 0;        // processing super-node
-  VertexId cluster = 0;  // neighbouring cluster root
-  Weight w = 0;
-  EdgeId id = 0;
-
-  friend bool operator==(const GroupMinEdge&, const GroupMinEdge&) = default;
-};
-
-/// The join decision of one processing super-node (Step B3).
-struct ClosestSampled {
-  VertexId v = 0;
-  VertexId cluster = 0;  // N(v)
-  Weight w = 0;
-  EdgeId id = 0;
-
-  friend bool operator==(const ClosestSampled&, const ClosestSampled&) = default;
-};
-
-struct DistIterationResult {
-  /// (1) sorted by (v, cluster).
-  std::vector<GroupMinEdge> groupMins;
-  /// (2) sorted by v; only super-nodes with >= 1 sampled neighbour appear.
-  std::vector<ClosestSampled> joins;
-  std::size_t roundsUsed = 0;
-};
 
 /// Runs the kernel on `sim` for the iteration state
 /// (clusterOf[s] = cluster root of super-node s, kNoVertex = exited;

@@ -61,17 +61,22 @@ void runDistIteration(MpcSimulator& sim, const Graph& g, DistState& st,
   auto processing = [&](VertexId s) {
     return st.clusterOf[s] != kNoVertex && !sampled[st.clusterOf[s]];
   };
-  for (EdgeId id = 0; id < g.numEdges(); ++id) {
-    if (!st.alive[id]) continue;
-    const Edge& e = g.edge(id);
-    const VertexId su = st.superOf[e.u];
-    const VertexId sv = st.superOf[e.v];
-    const bool deadU =
-        processing(su) && discard.count(pairKey(su, st.clusterOf[sv])) > 0;
-    const bool deadV =
-        processing(sv) && discard.count(pairKey(sv, st.clusterOf[su])) > 0;
-    if (deadU || deadV) st.alive[id] = 0;
-  }
+  // Parallel sweep: each edge id writes only its own alive flag, and the
+  // discard set is read-only here, so the result is schedule-independent.
+  sim.engine().pool().parallelForChunks(
+      g.numEdges(), 8192, [&](std::size_t begin, std::size_t end) {
+        for (EdgeId id = static_cast<EdgeId>(begin); id < end; ++id) {
+          if (!st.alive[id]) continue;
+          const Edge& e = g.edge(id);
+          const VertexId su = st.superOf[e.u];
+          const VertexId sv = st.superOf[e.v];
+          const bool deadU =
+              processing(su) && discard.count(pairKey(su, st.clusterOf[sv])) > 0;
+          const bool deadV =
+              processing(sv) && discard.count(pairKey(sv, st.clusterOf[su])) > 0;
+          if (deadU || deadV) st.alive[id] = 0;
+        }
+      });
 
   std::vector<VertexId> next = st.clusterOf;
   for (VertexId s = 0; s < st.nSuper; ++s) {
@@ -82,13 +87,16 @@ void runDistIteration(MpcSimulator& sim, const Graph& g, DistState& st,
   st.clusterOf = std::move(next);
 
   // Step B6.
-  for (EdgeId id = 0; id < g.numEdges(); ++id) {
-    if (!st.alive[id]) continue;
-    const Edge& e = g.edge(id);
-    const VertexId su = st.superOf[e.u];
-    const VertexId sv = st.superOf[e.v];
-    if (st.clusterOf[su] == st.clusterOf[sv]) st.alive[id] = 0;
-  }
+  sim.engine().pool().parallelForChunks(
+      g.numEdges(), 8192, [&](std::size_t begin, std::size_t end) {
+        for (EdgeId id = static_cast<EdgeId>(begin); id < end; ++id) {
+          if (!st.alive[id]) continue;
+          const Edge& e = g.edge(id);
+          const VertexId su = st.superOf[e.u];
+          const VertexId sv = st.superOf[e.v];
+          if (st.clusterOf[su] == st.clusterOf[sv]) st.alive[id] = 0;
+        }
+      });
 }
 
 /// Step C: contract the clustering, deduplicating parallel super-edges via

@@ -16,6 +16,11 @@
 // All primitives move real words through MpcSimulator::communicate, so round
 // counts and capacity violations are genuine, not estimated. Items must be
 // trivially copyable.
+//
+// Local (free) phases — per-shard sorting, packing, reducing — run on the
+// simulator's round-engine thread pool: each machine's shard is an
+// independent loop index, so the result is bit-identical for every thread
+// count while the hot simulation loops scale with cores.
 #pragma once
 
 #include <algorithm>
@@ -57,15 +62,21 @@ class DistVector {
       : sim_(&sim), shards_(sim.numMachines()) {
     const std::size_t capItems =
         std::max<std::size_t>(1, sim.wordsPerMachine() / (2 * wordsPerItem<T>()));
+    // Block boundaries first (cheap, serial), then a parallel fill.
+    std::vector<std::pair<std::size_t, std::size_t>> spans(shards_.size(), {0, 0});
     std::size_t cursor = 0;
     for (std::size_t m = 0; m < shards_.size() && cursor < data.size(); ++m) {
       const std::size_t take = std::min(capItems, data.size() - cursor);
-      shards_[m].assign(data.begin() + static_cast<std::ptrdiff_t>(cursor),
-                        data.begin() + static_cast<std::ptrdiff_t>(cursor + take));
+      spans[m] = {cursor, take};
       cursor += take;
     }
     if (cursor < data.size())
       throw CapacityError("DistVector: data does not fit in the cluster");
+    sim.engine().parallelFor(shards_.size(), [&](std::size_t m) {
+      const auto [begin, take] = spans[m];
+      shards_[m].assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                        data.begin() + static_cast<std::ptrdiff_t>(begin + take));
+    });
   }
 
   MpcSimulator& sim() const { return *sim_; }
@@ -106,9 +117,12 @@ std::vector<std::size_t> prefixCounts(MpcSimulator& sim,
 template <typename T, typename Cmp>
 void distSort(DistVector<T>& dv, Cmp cmp) {
   MpcSimulator& sim = dv.sim();
+  runtime::RoundEngine& eng = sim.engine();
   const std::size_t p = dv.numShards();
   auto& shards = dv.shards();
-  for (auto& s : shards) std::sort(s.begin(), s.end(), cmp);  // local, free
+  eng.parallelFor(p, [&](std::size_t m) {  // local, free
+    std::sort(shards[m].begin(), shards[m].end(), cmp);
+  });
   if (p <= 1 || dv.size() <= 1) return;
   // One-level sample sort: every machine must hold the p-1 splitters.
   // MpcConfig::forInput guarantees this; hand-built configs must too.
@@ -122,9 +136,9 @@ void distSort(DistVector<T>& dv, Cmp cmp) {
       1, std::min<std::size_t>(
              32, sim.wordsPerMachine() / (wordsPerItem<T>() * p)));
   std::vector<std::vector<MpcSimulator::Message>> out(p);
-  for (std::size_t m = 0; m < p; ++m) {
+  eng.parallelFor(p, [&](std::size_t m) {
     const auto& s = shards[m];
-    if (s.empty()) continue;
+    if (s.empty()) return;
     std::vector<T> samples;
     const std::size_t take = std::min(perMachineSamples, s.size());
     // Uniform random positions, seeded per machine: deterministic per-shard
@@ -138,7 +152,7 @@ void distSort(DistVector<T>& dv, Cmp cmp) {
     }
     std::sort(samples.begin(), samples.end(), cmp);
     out[m].push_back({0, packItems(samples.data(), samples.size())});
-  }
+  });
   auto inbox = sim.communicate(std::move(out));
   std::vector<T> samples = unpackItems<T>(inbox[0]);
   std::sort(samples.begin(), samples.end(), cmp);
@@ -153,7 +167,7 @@ void distSort(DistVector<T>& dv, Cmp cmp) {
 
   // One all-to-all: shard j receives keys in (splitter[j-1], splitter[j]].
   std::vector<std::vector<MpcSimulator::Message>> route(p);
-  for (std::size_t m = 0; m < p; ++m) {
+  eng.parallelFor(p, [&](std::size_t m) {
     const auto& s = shards[m];
     std::size_t begin = 0;
     for (std::size_t j = 0; j <= splitters.size(); ++j) {
@@ -170,12 +184,12 @@ void distSort(DistVector<T>& dv, Cmp cmp) {
         route[m].push_back({j, packItems(s.data() + begin, end - begin)});
       begin = end;
     }
-  }
+  });
   inbox = sim.communicate(std::move(route));
-  for (std::size_t m = 0; m < p; ++m) {
+  eng.parallelFor(p, [&](std::size_t m) {
     shards[m] = unpackItems<T>(inbox[m]);
     std::sort(shards[m].begin(), shards[m].end(), cmp);  // local merge
-  }
+  });
 }
 
 /// Per-key minimum over data already key-sorted across machines (machine
@@ -186,12 +200,13 @@ void distSort(DistVector<T>& dv, Cmp cmp) {
 template <typename T, typename KeyOf, typename Better>
 std::vector<T> segmentedMinSorted(DistVector<T>& dv, KeyOf keyOf, Better better) {
   MpcSimulator& sim = dv.sim();
+  runtime::RoundEngine& eng = sim.engine();
   const std::size_t p = dv.numShards();
   auto& shards = dv.shards();
 
   // Local reduce (free): one representative per key per machine.
   std::vector<std::vector<T>> reduced(p);
-  for (std::size_t m = 0; m < p; ++m)
+  eng.parallelFor(p, [&](std::size_t m) {
     for (const T& item : shards[m]) {
       if (!reduced[m].empty() && keyOf(reduced[m].back()) == keyOf(item)) {
         if (better(item, reduced[m].back())) reduced[m].back() = item;
@@ -199,6 +214,7 @@ std::vector<T> segmentedMinSorted(DistVector<T>& dv, KeyOf keyOf, Better better)
         reduced[m].push_back(item);
       }
     }
+  });
 
   if (p > 1) {
     // Round 1: first/last representative of every non-empty machine to the
@@ -280,7 +296,7 @@ std::vector<T> segmentedMinSorted(DistVector<T>& dv, KeyOf keyOf, Better better)
 
     // Apply fixes (local compute): the single local copy of the key is
     // replaced by the winner on exactly one machine and dropped elsewhere.
-    for (std::size_t m = 0; m < p; ++m) {
+    eng.parallelFor(p, [&](std::size_t m) {
       const std::vector<Word>& fw = inbox2[m];
       const std::size_t frec = 2 + wordsPerItem<T>();
       for (std::size_t off = 0; off + frec <= fw.size(); off += frec) {
@@ -298,7 +314,7 @@ std::vector<T> segmentedMinSorted(DistVector<T>& dv, KeyOf keyOf, Better better)
             break;
           }
       }
-    }
+    });
   }
 
   std::vector<T> result;

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <string>
+#include <memory>
+#include <stdexcept>
 
 namespace mpcspan {
+
+namespace {
+
+std::unique_ptr<runtime::Topology> makeMpcTopology(const MpcConfig& cfg) {
+  if (cfg.numMachines == 0 || cfg.wordsPerMachine == 0)
+    throw std::invalid_argument("MpcSimulator: empty configuration");
+  return std::make_unique<runtime::MpcTopology>(cfg.wordsPerMachine);
+}
+
+}  // namespace
 
 MpcConfig MpcConfig::forInput(std::size_t inputWords, double gamma, double slack) {
   MpcConfig cfg;
@@ -30,49 +41,26 @@ MpcConfig MpcConfig::forInput(std::size_t inputWords, double gamma, double slack
   return cfg;
 }
 
-MpcSimulator::MpcSimulator(MpcConfig cfg) : cfg_(cfg) {
-  if (cfg_.numMachines == 0 || cfg_.wordsPerMachine == 0)
-    throw std::invalid_argument("MpcSimulator: empty configuration");
-}
+MpcSimulator::MpcSimulator(MpcConfig cfg, std::size_t threads)
+    : cfg_(cfg),
+      engine_(runtime::EngineConfig{cfg.numMachines, threads},
+              makeMpcTopology(cfg)) {}
 
 std::vector<std::vector<Word>> MpcSimulator::communicate(
     std::vector<std::vector<Message>> outboxes) {
-  if (outboxes.size() != cfg_.numMachines)
-    throw std::invalid_argument("MpcSimulator: outboxes size mismatch");
+  const std::vector<std::vector<runtime::Delivery>> delivered =
+      engine_.exchange(std::move(outboxes));
 
-  std::vector<std::size_t> sent(cfg_.numMachines, 0);
-  std::vector<std::size_t> received(cfg_.numMachines, 0);
-  std::size_t roundWords = 0;
-  for (std::size_t src = 0; src < outboxes.size(); ++src) {
-    for (const Message& msg : outboxes[src]) {
-      if (msg.dst >= cfg_.numMachines)
-        throw std::invalid_argument("MpcSimulator: message to unknown machine");
-      sent[src] += msg.payload.size();
-      received[msg.dst] += msg.payload.size();
-      roundWords += msg.payload.size();
-    }
-  }
-  for (std::size_t i = 0; i < cfg_.numMachines; ++i) {
-    if (sent[i] > cfg_.wordsPerMachine)
-      throw CapacityError("machine " + std::to_string(i) + " sends " +
-                          std::to_string(sent[i]) + " words > capacity " +
-                          std::to_string(cfg_.wordsPerMachine));
-    if (received[i] > cfg_.wordsPerMachine)
-      throw CapacityError("machine " + std::to_string(i) + " receives " +
-                          std::to_string(received[i]) + " words > capacity " +
-                          std::to_string(cfg_.wordsPerMachine));
-  }
-
-  std::vector<std::vector<Word>> inbox(cfg_.numMachines);
-  for (std::size_t src = 0; src < outboxes.size(); ++src)
-    for (Message& msg : outboxes[src]) {
-      auto& in = inbox[msg.dst];
-      in.insert(in.end(), msg.payload.begin(), msg.payload.end());
-    }
-
-  ++rounds_;
-  wordsSent_ += roundWords;
-  maxRoundWords_ = std::max(maxRoundWords_, roundWords);
+  // Concatenate each machine's deliveries (already in sender order) into
+  // the flat word inbox the primitives consume.
+  std::vector<std::vector<Word>> inbox(delivered.size());
+  engine_.parallelFor(delivered.size(), [&](std::size_t m) {
+    std::size_t total = 0;
+    for (const runtime::Delivery& d : delivered[m]) total += d.payload.size();
+    inbox[m].reserve(total);
+    for (const runtime::Delivery& d : delivered[m])
+      inbox[m].insert(inbox[m].end(), d.payload.begin(), d.payload.end());
+  });
   return inbox;
 }
 

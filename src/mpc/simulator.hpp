@@ -1,21 +1,23 @@
-// Word-accurate MPC machine simulator.
+// Word-accurate MPC machine simulator — a thin facade over
+// runtime::RoundEngine with an MpcTopology.
 //
 // Models the [KSV10/GSZ11/BKS13] machine cluster: `numMachines` machines,
 // each with `wordsPerMachine` words of local memory; computation proceeds in
 // synchronous rounds, and in one round no machine may send or receive more
-// words than its memory. The simulator routes messages, enforces those
-// limits (throwing CapacityError on violation — a violation means the
-// *algorithm* breaks the model, so it must be loud), and counts rounds and
-// traffic. The Goodrich-style primitives in primitives.hpp run on top of it.
+// words than its memory. The engine routes messages, enforces those limits
+// (throwing CapacityError on violation — a violation means the *algorithm*
+// breaks the model, so it must be loud), counts rounds and traffic, and
+// steps machines in parallel on a work-stealing thread pool with
+// deterministic delivery. The Goodrich-style primitives in primitives.hpp
+// run on top of it.
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <vector>
 
-namespace mpcspan {
+#include "runtime/round_engine.hpp"
 
-using Word = std::uint64_t;
+namespace mpcspan {
 
 struct MpcConfig {
   std::size_t numMachines = 0;
@@ -26,45 +28,42 @@ struct MpcConfig {
   static MpcConfig forInput(std::size_t inputWords, double gamma, double slack = 2.0);
 };
 
-class CapacityError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
 class MpcSimulator {
  public:
-  explicit MpcSimulator(MpcConfig cfg);
+  /// `threads` is forwarded to the round engine's stepping pool (0 selects
+  /// the default; see runtime::EngineConfig). Results are bit-identical for
+  /// every thread count.
+  explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0);
 
   std::size_t numMachines() const { return cfg_.numMachines; }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
-  std::size_t rounds() const { return rounds_; }
-  std::size_t totalWordsSent() const { return wordsSent_; }
-  std::size_t maxRoundWords() const { return maxRoundWords_; }
+  std::size_t rounds() const { return engine_.rounds(); }
+  std::size_t totalWordsSent() const { return engine_.totalWordsSent(); }
+  std::size_t maxRoundWords() const { return engine_.maxRoundWords(); }
 
   /// A message from one machine to another within a single round.
-  struct Message {
-    std::size_t dst;
-    std::vector<Word> payload;
-  };
+  using Message = runtime::Message;
 
   /// Executes one synchronous communication round. `outboxes[i]` holds the
   /// messages machine i sends. Returns the inbox of each machine (payloads
-  /// concatenated in sender order). Enforces per-machine send and receive
-  /// limits of wordsPerMachine.
+  /// concatenated in sender order — deterministic for every thread count).
+  /// Enforces per-machine send and receive limits of wordsPerMachine.
   std::vector<std::vector<Word>> communicate(
       std::vector<std::vector<Message>> outboxes);
 
   /// Charges `n` rounds without moving data (used when a primitive's round
   /// structure is simulated at a coarser granularity, e.g. local sorting
   /// phases that occupy a round boundary).
-  void chargeRounds(std::size_t n) { rounds_ += n; }
+  void chargeRounds(std::size_t n) { engine_.chargeRounds(n); }
+
+  /// The underlying substrate; consumers use its pool for deterministic
+  /// parallel local phases (sorting, packing) between rounds.
+  runtime::RoundEngine& engine() { return engine_; }
 
  private:
   MpcConfig cfg_;
-  std::size_t rounds_ = 0;
-  std::size_t wordsSent_ = 0;
-  std::size_t maxRoundWords_ = 0;
+  runtime::RoundEngine engine_;
 };
 
 }  // namespace mpcspan

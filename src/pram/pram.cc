@@ -39,8 +39,18 @@ bool LeaderForest::merge(std::uint32_t a, std::uint32_t b) {
   std::uint32_t lb = leader_[b];
   if (la == lb) return false;
   if (members_[la].size() < members_[lb].size()) std::swap(la, lb);
-  // Redirect every member of the smaller set in one parallel step.
-  for (std::uint32_t v : members_[lb]) leader_[v] = la;
+  // Redirect every member of the smaller set in one parallel step. With an
+  // engine attached the redirection is a real CRCW write round: member v
+  // writes the new leader into its own pointer cell v.
+  if (engine_) {
+    std::vector<std::vector<runtime::Message>> out(engine_->numMachines());
+    for (std::uint32_t v : members_[lb]) out[v].push_back({v, {la}});
+    const auto delivered = engine_->exchange(std::move(out));
+    for (std::uint32_t v : members_[lb])
+      leader_[v] = static_cast<std::uint32_t>(delivered[v].front().payload.front());
+  } else {
+    for (std::uint32_t v : members_[lb]) leader_[v] = la;
+  }
   work_ += static_cast<long>(members_[lb].size());
   depth_ += 1;
   auto& big = members_[la];

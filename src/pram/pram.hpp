@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "runtime/round_engine.hpp"
 #include "spanner/types.hpp"
 
 namespace mpcspan {
@@ -41,6 +43,19 @@ class LeaderForest {
  public:
   explicit LeaderForest(std::size_t n);
 
+  /// Executes each merge's pointer redirection as one real priority-CRCW
+  /// write round on `engine` (not owned; must use a PramTopology with at
+  /// least n cells — fewer throws): every member of the smaller set writes
+  /// the new leader into its own pointer cell. The engine's ledger then
+  /// equals the depth/work counters: rounds == depthCharged(),
+  /// words == workCharged().
+  void attachEngine(runtime::RoundEngine* engine) {
+    if (engine && engine->numMachines() < leader_.size())
+      throw std::invalid_argument(
+          "LeaderForest: engine needs one memory cell per element");
+    engine_ = engine;
+  }
+
   std::uint32_t leader(std::uint32_t x) const { return leader_[x]; }
   bool sameSet(std::uint32_t a, std::uint32_t b) const {
     return leader_[a] == leader_[b];
@@ -62,6 +77,7 @@ class LeaderForest {
   std::vector<std::uint32_t> leader_;
   std::vector<std::vector<std::uint32_t>> members_;
   std::size_t numSets_;
+  runtime::RoundEngine* engine_ = nullptr;
   long depth_ = 0;
   long work_ = 0;
 };

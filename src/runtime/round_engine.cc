@@ -1,0 +1,69 @@
+#include "runtime/round_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mpcspan::runtime {
+
+RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
+    : numMachines_(cfg.numMachines),
+      topology_(std::move(topology)),
+      pool_(cfg.threads) {
+  if (numMachines_ == 0)
+    throw std::invalid_argument("RoundEngine: numMachines must be positive");
+  if (!topology_) throw std::invalid_argument("RoundEngine: null topology");
+  inboxes_.resize(numMachines_);
+}
+
+std::vector<std::vector<Delivery>> RoundEngine::exchange(
+    std::vector<std::vector<Message>> outboxes) {
+  if (outboxes.size() != numMachines_)
+    throw std::invalid_argument("RoundEngine: outboxes size mismatch");
+
+  // Index pass (serial, no payload movement): per-destination list of
+  // (src, outbox position), naturally in (src, position) order.
+  struct Ref {
+    std::uint32_t src;
+    std::uint32_t pos;
+  };
+  std::vector<std::vector<Ref>> byDst(numMachines_);
+  for (std::size_t src = 0; src < numMachines_; ++src) {
+    const auto& outbox = outboxes[src];
+    for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
+      if (outbox[pos].dst >= numMachines_)
+        throw std::invalid_argument("RoundEngine: message to unknown machine");
+      byDst[outbox[pos].dst].push_back({static_cast<std::uint32_t>(src),
+                                        static_cast<std::uint32_t>(pos)});
+    }
+  }
+
+  const std::size_t roundWords = topology_->validate(numMachines_, outboxes);
+  const bool priorityWrite = topology_->mode() == Topology::Mode::kPriorityWrite;
+
+  // Materialize inboxes in parallel: each destination is owned by exactly
+  // one loop index, and every message has exactly one destination, so the
+  // payload moves below are disjoint — delivery order is fixed by the index
+  // pass, not by the schedule.
+  std::vector<std::vector<Delivery>> inbox(numMachines_);
+  pool_.parallelFor(numMachines_, [&](std::size_t d) {
+    const auto& refs = byDst[d];
+    if (refs.empty()) return;
+    const std::size_t take = priorityWrite ? 1 : refs.size();
+    inbox[d].reserve(take);
+    for (std::size_t i = 0; i < take; ++i)
+      inbox[d].push_back(
+          {refs[i].src, std::move(outboxes[refs[i].src][refs[i].pos].payload)});
+  });
+
+  ledger_.noteRound(roundWords);
+  return inbox;
+}
+
+void RoundEngine::step(const StepFn& fn) {
+  std::vector<std::vector<Message>> outboxes(numMachines_);
+  pool_.parallelFor(numMachines_,
+                    [&](std::size_t m) { outboxes[m] = fn(m, inboxes_[m]); });
+  inboxes_ = exchange(std::move(outboxes));
+}
+
+}  // namespace mpcspan::runtime

@@ -1,0 +1,82 @@
+// RoundEngine — the unified round-synchronous runtime behind the MPC,
+// Congested Clique, and PRAM substrates.
+//
+// The engine owns a set of simulated machines, a Topology transport policy
+// (what a legal round looks like in the chosen model), a work-stealing
+// thread pool that steps machines in parallel *within* a round, and the
+// round/traffic ledger. Message delivery is deterministic: every inbox
+// holds its deliveries in (source id, send position) order regardless of
+// the thread count, so a 1-thread and an N-thread run of the same workload
+// are bit-identical — rounds, traffic totals, and message contents.
+//
+// MpcSimulator and CongestedClique are thin model-specific facades over
+// this class; see src/runtime/README.md for the design.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "runtime/thread_pool.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/types.hpp"
+
+namespace mpcspan::runtime {
+
+struct EngineConfig {
+  std::size_t numMachines = 0;
+  /// Lanes of the stepping pool, including the caller; 0 selects the
+  /// default (MPCSPAN_THREADS env var, else hardware concurrency).
+  std::size_t threads = 0;
+};
+
+class RoundEngine {
+ public:
+  RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology);
+
+  std::size_t numMachines() const { return numMachines_; }
+  const Topology& topology() const { return *topology_; }
+  ThreadPool& pool() { return pool_; }
+
+  std::size_t rounds() const { return ledger_.rounds; }
+  std::size_t totalWordsSent() const { return ledger_.wordsSent; }
+  std::size_t maxRoundWords() const { return ledger_.maxRoundWords; }
+
+  /// Charges rounds / traffic whose execution is proven rather than
+  /// simulated message-by-message (e.g. Lenzen routing, spanner collection).
+  void chargeRounds(std::size_t n) { ledger_.rounds += n; }
+  void chargeTraffic(std::size_t words) { ledger_.wordsSent += words; }
+
+  /// One synchronous communication round: bounds-checks destinations,
+  /// validates the outboxes against the topology, delivers, and updates the
+  /// ledger. inbox[d] holds deliveries ordered by (src, position in src's
+  /// outbox). Under Topology::Mode::kPriorityWrite only the first delivery
+  /// per destination lands. Outboxes are consumed.
+  std::vector<std::vector<Delivery>> exchange(
+      std::vector<std::vector<Message>> outboxes);
+
+  /// Machine-centric round: runs step(machine, inbox) for every machine in
+  /// parallel on the pool (the inbox is the previous step's deliveries),
+  /// then exchanges the produced outboxes. The deliveries are stored and
+  /// readable via inbox() until the next step.
+  using StepFn = std::function<std::vector<Message>(
+      std::size_t machine, const std::vector<Delivery>& inbox)>;
+  void step(const StepFn& fn);
+  const std::vector<Delivery>& inbox(std::size_t machine) const {
+    return inboxes_[machine];
+  }
+
+  /// Deterministic parallel loop on the engine's pool. fn must write to
+  /// disjoint outputs; then the result is identical for every thread count.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    pool_.parallelFor(n, fn);
+  }
+
+ private:
+  std::size_t numMachines_;
+  std::unique_ptr<Topology> topology_;
+  ThreadPool pool_;
+  Accounting ledger_;
+  std::vector<std::vector<Delivery>> inboxes_;
+};
+
+}  // namespace mpcspan::runtime

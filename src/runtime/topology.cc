@@ -1,0 +1,71 @@
+#include "runtime/topology.hpp"
+
+#include <string>
+
+namespace mpcspan::runtime {
+
+std::size_t MpcTopology::validate(
+    std::size_t numMachines,
+    const std::vector<std::vector<Message>>& outboxes) const {
+  std::vector<std::size_t> sent(numMachines, 0);
+  std::vector<std::size_t> received(numMachines, 0);
+  std::size_t roundWords = 0;
+  for (std::size_t src = 0; src < outboxes.size(); ++src) {
+    for (const Message& msg : outboxes[src]) {
+      sent[src] += msg.payload.size();
+      received[msg.dst] += msg.payload.size();
+      roundWords += msg.payload.size();
+    }
+  }
+  for (std::size_t i = 0; i < numMachines; ++i) {
+    if (sent[i] > wordsPerMachine_)
+      throw CapacityError("machine " + std::to_string(i) + " sends " +
+                          std::to_string(sent[i]) + " words > capacity " +
+                          std::to_string(wordsPerMachine_));
+    if (received[i] > wordsPerMachine_)
+      throw CapacityError("machine " + std::to_string(i) + " receives " +
+                          std::to_string(received[i]) + " words > capacity " +
+                          std::to_string(wordsPerMachine_));
+  }
+  return roundWords;
+}
+
+std::size_t CliqueTopology::validate(
+    std::size_t numMachines,
+    const std::vector<std::vector<Message>>& outboxes) const {
+  std::size_t roundWords = 0;
+  std::vector<char> usedRow;  // lazily sized per source
+  for (std::size_t src = 0; src < outboxes.size(); ++src) {
+    if (outboxes[src].empty()) continue;
+    usedRow.assign(numMachines, 0);
+    for (const Message& msg : outboxes[src]) {
+      if (msg.payload.size() != 1)
+        throw CapacityError(
+            "CongestedClique: a pair carries exactly one word per round, got " +
+            std::to_string(msg.payload.size()));
+      if (usedRow[msg.dst])
+        throw CapacityError("CongestedClique: pair (" + std::to_string(src) +
+                            "," + std::to_string(msg.dst) +
+                            ") used twice in one round");
+      usedRow[msg.dst] = 1;
+      ++roundWords;
+    }
+  }
+  return roundWords;
+}
+
+std::size_t PramTopology::validate(
+    std::size_t /*numMachines*/,
+    const std::vector<std::vector<Message>>& outboxes) const {
+  std::size_t roundWords = 0;
+  for (const auto& outbox : outboxes)
+    for (const Message& msg : outbox) {
+      if (msg.payload.size() != 1)
+        throw CapacityError("PRAM: a memory cell holds one word, write of " +
+                            std::to_string(msg.payload.size()) + " words");
+      ++roundWords;
+    }
+  return roundWords;
+}
+
+}  // namespace mpcspan::runtime

@@ -1,0 +1,82 @@
+// Pluggable transport policies for RoundEngine — the one place where the
+// three models of the paper differ at the communication layer:
+//
+//   MpcTopology    — [KSV10/GSZ11/BKS13] all-to-all with per-machine word
+//                    budgets: in one round no machine may send or receive
+//                    more than wordsPerMachine words.
+//   CliqueTopology — Congested Clique (Section 8): every ordered (src,dst)
+//                    pair may carry at most one single-word message per
+//                    round.
+//   PramTopology   — CRCW PRAM leader-pointer memory (Section 6): machines
+//                    are processors, destinations are shared-memory cells,
+//                    any number of single-word concurrent writes per cell;
+//                    the engine resolves them Priority-CRCW (lowest writer
+//                    id wins), which is deterministic.
+//
+// A topology only *validates and classifies* a round; routing, delivery
+// ordering, and accounting are the engine's job and identical across
+// models. Violations throw CapacityError — an algorithm that breaks its
+// model must fail loudly.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/types.hpp"
+
+namespace mpcspan::runtime {
+
+class Topology {
+ public:
+  /// How the engine resolves the validated round.
+  enum class Mode {
+    kDeliverAll,     // every message reaches its destination's inbox
+    kPriorityWrite,  // per destination only the lowest-src write lands
+  };
+
+  virtual ~Topology() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Validates one round's outboxes (outboxes[src] = messages machine src
+  /// sends; destination ids already bounds-checked by the engine). Throws
+  /// CapacityError on a model violation. Returns the words moved.
+  virtual std::size_t validate(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& outboxes) const = 0;
+
+  virtual Mode mode() const { return Mode::kDeliverAll; }
+};
+
+class MpcTopology final : public Topology {
+ public:
+  explicit MpcTopology(std::size_t wordsPerMachine)
+      : wordsPerMachine_(wordsPerMachine) {}
+
+  const char* name() const override { return "mpc"; }
+  std::size_t wordsPerMachine() const { return wordsPerMachine_; }
+  std::size_t validate(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& outboxes) const override;
+
+ private:
+  std::size_t wordsPerMachine_;
+};
+
+class CliqueTopology final : public Topology {
+ public:
+  const char* name() const override { return "clique"; }
+  std::size_t validate(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& outboxes) const override;
+};
+
+class PramTopology final : public Topology {
+ public:
+  const char* name() const override { return "pram"; }
+  std::size_t validate(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& outboxes) const override;
+  Mode mode() const override { return Mode::kPriorityWrite; }
+};
+
+}  // namespace mpcspan::runtime

@@ -1,0 +1,57 @@
+// Shared vocabulary of the round-engine runtime: the machine word, the
+// capacity-violation error, message/delivery records, and the round/traffic
+// ledger. Every substrate facade (MPC, Congested Clique, PRAM) speaks these
+// types; nothing here depends on a particular model.
+//
+// `Word` and `CapacityError` live directly in namespace mpcspan — they are
+// the library-wide currency (formerly defined in mpc/simulator.hpp, which
+// forced cclique to include the MPC header just for them).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace mpcspan {
+
+/// One Theta(log n)-bit machine word, the unit of all communication limits.
+using Word = std::uint64_t;
+
+/// Thrown when an algorithm violates the model's communication limits. A
+/// violation means the *algorithm* breaks the model, so it must be loud.
+class CapacityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace runtime {
+
+/// A message from one machine to another within a single synchronous round.
+struct Message {
+  std::size_t dst;
+  std::vector<Word> payload;
+};
+
+/// A delivered message: the payload plus the sender's id. Inboxes hold
+/// deliveries in stable (src, send-position) order, independent of how many
+/// threads stepped the round.
+struct Delivery {
+  std::size_t src;
+  std::vector<Word> payload;
+};
+
+/// Round/traffic ledger shared by all substrates.
+struct Accounting {
+  std::size_t rounds = 0;
+  std::size_t wordsSent = 0;
+  std::size_t maxRoundWords = 0;
+
+  void noteRound(std::size_t roundWords) {
+    ++rounds;
+    wordsSent += roundWords;
+    if (roundWords > maxRoundWords) maxRoundWords = roundWords;
+  }
+};
+
+}  // namespace runtime
+}  // namespace mpcspan

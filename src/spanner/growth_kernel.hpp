@@ -1,0 +1,87 @@
+// Substrate-neutral pieces of one spanner growth iteration (Section 6 /
+// Lemma 6.1): the record types of the two find-minimum supersteps, the
+// host-side candidate sweep, and the deterministic group-min/join reduction
+// that every substrate kernel shares.
+//
+// Three kernels consume this module and must produce bit-identical
+// decisions on the same input:
+//   - referenceIterationKernel (host, mpc/dist_iteration.hpp),
+//   - distIterationKernel      (MPC RoundEngine, real sample sorts),
+//   - cliqueIterationKernel    (clique RoundEngine, real label round).
+// The shared reduction (weight, then edge id tie-break) is what makes that
+// equivalence well-defined.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mpcspan {
+
+/// Minimum-weight edge of a (super-node, cluster) group.
+struct GroupMinEdge {
+  VertexId v = 0;        // processing super-node
+  VertexId cluster = 0;  // neighbouring cluster root
+  Weight w = 0;
+  EdgeId id = 0;
+
+  friend bool operator==(const GroupMinEdge&, const GroupMinEdge&) = default;
+};
+
+/// The join decision of one processing super-node (Step B3).
+struct ClosestSampled {
+  VertexId v = 0;
+  VertexId cluster = 0;  // N(v)
+  Weight w = 0;
+  EdgeId id = 0;
+
+  friend bool operator==(const ClosestSampled&, const ClosestSampled&) = default;
+};
+
+struct DistIterationResult {
+  /// (1) minimum-weight edge per (super-node, cluster), sorted by (v, cluster).
+  std::vector<GroupMinEdge> groupMins;
+  /// (2) sorted by v; only super-nodes with >= 1 sampled neighbour appear.
+  std::vector<ClosestSampled> joins;
+  std::size_t roundsUsed = 0;
+};
+
+/// Candidate tuple of the find-minimum supersteps (trivially copyable — it
+/// is shipped verbatim between machines by the MPC kernel).
+struct CandTuple {
+  std::uint64_t key;  // (v << 32) | cluster
+  double w;
+  std::uint32_t id;
+};
+
+inline std::uint64_t packGroupKey(VertexId v, VertexId cluster) {
+  return (static_cast<std::uint64_t>(v) << 32) | cluster;
+}
+
+inline bool betterCand(const CandTuple& a, const CandTuple& b) {
+  return a.w < b.w || (a.w == b.w && a.id < b.id);
+}
+
+/// Candidate edges: one per (processing super-node, incident alive edge).
+/// The label joins (attaching superOf/clusterOf to edge tuples) are the
+/// sort-based "Clustering" superstep of Lemma 6.1, charged separately by
+/// the substrates; here they are applied host-side. When a `pool` is given
+/// the edge sweep runs chunk-parallel on it — chunking depends only on the
+/// edge count, so the output order equals the serial edge-id order for
+/// every thread count.
+std::vector<CandTuple> buildCandidates(const Graph& g,
+                                       const std::vector<VertexId>& superOf,
+                                       const std::vector<VertexId>& clusterOf,
+                                       const std::vector<char>& sampled,
+                                       const std::vector<char>* alive = nullptr,
+                                       runtime::ThreadPool* pool = nullptr);
+
+/// Deterministic reduction of raw candidates into per-(v, cluster) group
+/// minima and per-v closest sampled clusters, with (weight, edge id)
+/// tie-breaking. roundsUsed is left 0 — substrate kernels fill it in.
+DistIterationResult reduceCandidates(const std::vector<CandTuple>& cands,
+                                     const std::vector<char>& sampled);
+
+}  // namespace mpcspan

@@ -1,12 +1,16 @@
-// Equivalence of the distributed iteration kernel (real tuples through the
-// MPC simulator) with the host-side reference — the library's evidence that
-// the engine's charged supersteps are implementable as claimed.
+// Cross-substrate equivalence of the spanner growth-iteration kernel: the
+// host reference (ClusterEngine's decision procedure), the MPC RoundEngine
+// kernel (real tuples through capacity-enforced rounds), and the Congested
+// Clique RoundEngine kernel (real label round + Lenzen-accounted
+// aggregation) must produce bit-identical group minima and join decisions —
+// the library's evidence that "same algorithm, different model" is exact.
 #include "mpc/dist_iteration.hpp"
 
 #include <gtest/gtest.h>
 
 #include <numeric>
 
+#include "cclique/iteration_cc.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "spanner/engine.hpp"
@@ -23,7 +27,7 @@ std::vector<VertexId> identity(std::size_t n) {
 class DistIterationEquivalence
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
 
-TEST_P(DistIterationEquivalence, MatchesReferenceFirstEpoch) {
+TEST_P(DistIterationEquivalence, HostMpcAndCliqueSubstratesAgree) {
   const auto [seed, p] = GetParam();
   Rng rng(seed);
   const Graph g = gnmRandom(600, 3600, rng, {WeightModel::kUniform, 20.0}, true);
@@ -32,17 +36,48 @@ TEST_P(DistIterationEquivalence, MatchesReferenceFirstEpoch) {
   const std::vector<char> sampled =
       HashCoinPolicy::draw(std::vector<char>(g.numVertices(), 1), p, seed, 1);
 
-  MpcSimulator sim(MpcConfig::forInput(4 * g.numEdges(), 0.6, 3.0));
-  const DistIterationResult dist =
-      distIterationKernel(sim, g, superOf, clusterOf, sampled);
+  // Host reference (the ClusterEngine decision procedure).
   const DistIterationResult ref =
       referenceIterationKernel(g, superOf, clusterOf, sampled);
 
+  // MPC substrate: real sample sorts and segmented minima.
+  MpcSimulator sim(MpcConfig::forInput(4 * g.numEdges(), 0.6, 3.0));
+  const DistIterationResult dist =
+      distIterationKernel(sim, g, superOf, clusterOf, sampled);
   EXPECT_EQ(dist.groupMins, ref.groupMins);
   EXPECT_EQ(dist.joins, ref.joins);
   // Two sorts + two segmented mins, each O(1) rounds.
   EXPECT_LE(dist.roundsUsed, 16u);
   EXPECT_GT(dist.roundsUsed, 0u);
+
+  // Clique substrate: real label round + accounted aggregation. Join
+  // decisions must be bit-identical to both other substrates.
+  CongestedClique cc(g.numVertices());
+  const DistIterationResult clique =
+      cliqueIterationKernel(cc, g, superOf, clusterOf, sampled);
+  EXPECT_EQ(clique.groupMins, ref.groupMins);
+  EXPECT_EQ(clique.joins, ref.joins);
+  EXPECT_GT(clique.roundsUsed, 0u);
+  EXPECT_GT(cc.totalWords(), 0u);
+}
+
+TEST(DistIteration, MpcKernelIsThreadCountInvariant) {
+  Rng rng(21);
+  const Graph g = gnmRandom(500, 3000, rng, {WeightModel::kUniform, 12.0}, true);
+  const std::vector<VertexId> ident = identity(g.numVertices());
+  const std::vector<char> sampled =
+      HashCoinPolicy::draw(std::vector<char>(g.numVertices(), 1), 0.3, 21, 1);
+
+  MpcSimulator one(MpcConfig::forInput(4 * g.numEdges(), 0.6, 3.0), /*threads=*/1);
+  MpcSimulator four(MpcConfig::forInput(4 * g.numEdges(), 0.6, 3.0), /*threads=*/4);
+  const DistIterationResult a = distIterationKernel(one, g, ident, ident, sampled);
+  const DistIterationResult b = distIterationKernel(four, g, ident, ident, sampled);
+  EXPECT_EQ(a.groupMins, b.groupMins);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.roundsUsed, b.roundsUsed);
+  EXPECT_EQ(one.rounds(), four.rounds());
+  EXPECT_EQ(one.totalWordsSent(), four.totalWordsSent());
+  EXPECT_EQ(one.maxRoundWords(), four.maxRoundWords());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -77,6 +112,14 @@ TEST(DistIteration, MidRunClusteringWithExitsAndSupernodes) {
       referenceIterationKernel(g, superOf, clusterOf, sampled);
   EXPECT_EQ(dist.groupMins, ref.groupMins);
   EXPECT_EQ(dist.joins, ref.joins);
+
+  // The clique substrate agrees on the mid-run state too (supernodes,
+  // exits, multi-super clusters).
+  CongestedClique cc(g.numVertices());
+  const DistIterationResult clique =
+      cliqueIterationKernel(cc, g, superOf, clusterOf, sampled);
+  EXPECT_EQ(clique.groupMins, ref.groupMins);
+  EXPECT_EQ(clique.joins, ref.joins);
 }
 
 TEST(DistIteration, NoSampledClustersMeansNoJoins) {
@@ -97,6 +140,33 @@ TEST(DistIteration, AllSampledMeansNoCandidates) {
                                      std::vector<char>(100, 1));
   EXPECT_TRUE(r.groupMins.empty());
   EXPECT_TRUE(r.joins.empty());
+}
+
+TEST(DistIteration, ParallelEdgesAgreeAcrossSubstrates) {
+  // GraphBuilder stages duplicate (u,v) pairs verbatim; the clique label
+  // round must deduplicate per ordered pair while still producing one
+  // candidate per edge id, like the other substrates.
+  GraphBuilder b(4);
+  b.addEdge(0, 1, 5.0);
+  b.addEdge(0, 1, 3.0);  // parallel, lighter
+  b.addEdge(1, 2, 2.0);
+  b.addEdge(2, 3, 1.0);
+  b.addEdge(0, 3, 4.0);
+  const Graph g = b.build();
+  const std::vector<char> sampled{0, 1, 0, 1};
+
+  const auto ref = referenceIterationKernel(g, identity(4), identity(4), sampled);
+  MpcSimulator sim(MpcConfig::forInput(64, 0.6, 3.0));
+  const auto dist = distIterationKernel(sim, g, identity(4), identity(4), sampled);
+  CongestedClique cc(4);
+  const auto clique = cliqueIterationKernel(cc, g, identity(4), identity(4), sampled);
+  EXPECT_EQ(dist.groupMins, ref.groupMins);
+  EXPECT_EQ(dist.joins, ref.joins);
+  EXPECT_EQ(clique.groupMins, ref.groupMins);
+  EXPECT_EQ(clique.joins, ref.joins);
+  // The lighter parallel edge wins its group.
+  ASSERT_FALSE(ref.groupMins.empty());
+  EXPECT_EQ(ref.groupMins[0].w, 3.0);
 }
 
 TEST(DistIteration, JoinsPickStrictMinimumWithEdgeIdTieBreak) {
