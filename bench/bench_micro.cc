@@ -1,10 +1,16 @@
 // M1 — google-benchmark micro suite: throughput of the substrate pieces
-// (generators, Dijkstra, engine iterations, distributed primitives).
+// (generators, Dijkstra, engine iterations, distributed primitives, and the
+// round-engine runtime itself at the configured lane/shard counts —
+// MPCSPAN_THREADS / MPCSPAN_SHARDS — which is what the CI benchmark job
+// sweeps).
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "graph/distance.hpp"
 #include "graph/generators.hpp"
 #include "mpc/primitives.hpp"
+#include "runtime/round_engine.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/tradeoff.hpp"
 #include "spanner/verify.hpp"
@@ -79,6 +85,32 @@ void BM_DistSort(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_DistSort)->Arg(1 << 12)->Arg(1 << 15);
+
+/// One machine-centric engine round with per-machine local compute: the
+/// stepping pool's scaling surface. Lanes follow MPCSPAN_THREADS, shards
+/// MPCSPAN_SHARDS, so the CI job compares 1-lane vs N-lane (and sharded)
+/// wall-clock on the identical deterministic workload.
+void BM_EngineStep(benchmark::State& state) {
+  using namespace mpcspan::runtime;
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const auto spin = static_cast<std::size_t>(state.range(1));
+  RoundEngine eng(EngineConfig{machines, 0, 0},
+                  std::make_unique<MpcTopology>(1u << 20));
+  for (auto _ : state) {
+    eng.step([&](std::size_t m, const std::vector<Delivery>&) {
+      // Deterministic local work standing in for a machine's round compute.
+      std::uint64_t h = m + 1;
+      for (std::size_t i = 0; i < spin; ++i)
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+      std::vector<Message> out;
+      out.push_back({(m + 1) % machines, {h}});
+      return out;
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(machines * spin));
+}
+BENCHMARK(BM_EngineStep)->Args({64, 20000})->Args({256, 5000});
 
 void BM_VerifyPairStretch(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -2,7 +2,13 @@
 // group-by-min) run in O(1/gamma) rounds on the word-accurate machine
 // simulator, across gamma and input size. These are the primitives every
 // spanner iteration charges.
+//
+// Also the CI pool-scaling probe: wall-clock per primitive is measured and,
+// under MPCSPAN_BENCH_JSON, written machine-readably so the benchmark job
+// can compare 1-lane vs N-lane (and sharded) runs. Lanes and shards come
+// from MPCSPAN_THREADS / MPCSPAN_SHARDS as everywhere else.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "bench/bench_common.hpp"
@@ -12,14 +18,26 @@
 using namespace mpcspan;
 using namespace mpcspan::bench;
 
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 int main() {
   printHeader("T8 / Lemma 6.1",
               "sort / broadcast / find-min in O(1/gamma) MPC rounds, "
               "memory n^gamma per machine");
+  BenchJson json("t8_primitives");
 
   Table table("primitive rounds vs gamma and N");
   table.header({"N", "gamma", "machines", "words/machine", "floored?", "sort rds",
-                "broadcast rds", "group-min rds", "total words"});
+                "broadcast rds", "group-min rds", "total words", "sort ms",
+                "gmin ms"});
   for (std::size_t N : {4096u, 16384u, 65536u}) {
     for (double gamma : {0.55, 0.7, 0.85}) {
       const MpcConfig cfg = MpcConfig::forInput(N, gamma, /*slack=*/3.0);
@@ -30,17 +48,23 @@ int main() {
 
       DistVector<std::uint64_t> dv(sim, data);
       const std::size_t r0 = sim.rounds();
+      const auto tSort = std::chrono::steady_clock::now();
       distSort(dv, std::less<>());
+      const double sortMs = msSince(tSort);
       const std::size_t sortRounds = sim.rounds() - r0;
 
       const std::size_t r1 = sim.rounds();
+      const auto tBcast = std::chrono::steady_clock::now();
       treeBroadcastWords(sim, {1, 2, 3, 4});
+      const double bcastMs = msSince(tBcast);
       const std::size_t bcastRounds = sim.rounds() - r1;
 
       const std::size_t r2 = sim.rounds();
       auto keyOf = [](std::uint64_t x) { return x >> 8; };
       auto better = [](std::uint64_t a, std::uint64_t b) { return a < b; };
+      const auto tGmin = std::chrono::steady_clock::now();
       segmentedMinSorted(dv, keyOf, better);
+      const double gminMs = msSince(tGmin);
       const std::size_t gminRounds = sim.rounds() - r2;
 
       const bool floored =
@@ -50,7 +74,16 @@ int main() {
                     Table::num(cfg.numMachines), Table::num(cfg.wordsPerMachine),
                     floored ? "yes" : "no", Table::num(sortRounds),
                     Table::num(bcastRounds), Table::num(gminRounds),
-                    Table::num(sim.totalWordsSent())});
+                    Table::num(sim.totalWordsSent()), Table::num(sortMs, 2),
+                    Table::num(gminMs, 2)});
+      json.record({{"n", double(N)},
+                   {"gamma", gamma},
+                   {"machines", double(cfg.numMachines)},
+                   {"sort_rounds", double(sortRounds)},
+                   {"sort_ms", sortMs},
+                   {"bcast_ms", bcastMs},
+                   {"gmin_ms", gminMs},
+                   {"total_words", double(sim.totalWordsSent())}});
     }
   }
   table.print();

@@ -14,9 +14,10 @@ std::size_t checkedNodes(std::size_t n) {
 
 }  // namespace
 
-CongestedClique::CongestedClique(std::size_t n, std::size_t threads)
+CongestedClique::CongestedClique(std::size_t n, std::size_t threads,
+                                 std::size_t shards)
     : n_(checkedNodes(n)),
-      engine_(runtime::EngineConfig{n, threads},
+      engine_(runtime::EngineConfig{n, threads, shards},
               std::make_unique<runtime::CliqueTopology>()) {}
 
 std::vector<std::vector<std::pair<VertexId, Word>>> CongestedClique::directRound(

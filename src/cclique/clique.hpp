@@ -23,11 +23,14 @@ namespace mpcspan {
 
 class CongestedClique {
  public:
-  /// `threads` is forwarded to the round engine's stepping pool (0 selects
-  /// the default; see runtime::EngineConfig).
-  explicit CongestedClique(std::size_t n, std::size_t threads = 0);
+  /// `threads` is forwarded to the round engine's stepping pool and
+  /// `shards` to its multi-process backend (0 selects the defaults; see
+  /// runtime::EngineConfig).
+  explicit CongestedClique(std::size_t n, std::size_t threads = 0,
+                           std::size_t shards = 0);
 
   std::size_t numNodes() const { return n_; }
+  std::size_t numShards() const { return engine_.numShards(); }
   std::size_t rounds() const { return engine_.rounds(); }
   std::size_t totalWords() const { return engine_.totalWordsSent(); }
 

@@ -41,9 +41,10 @@ MpcConfig MpcConfig::forInput(std::size_t inputWords, double gamma, double slack
   return cfg;
 }
 
-MpcSimulator::MpcSimulator(MpcConfig cfg, std::size_t threads)
+MpcSimulator::MpcSimulator(MpcConfig cfg, std::size_t threads,
+                           std::size_t shards)
     : cfg_(cfg),
-      engine_(runtime::EngineConfig{cfg.numMachines, threads},
+      engine_(runtime::EngineConfig{cfg.numMachines, threads, shards},
               makeMpcTopology(cfg)) {}
 
 std::vector<std::vector<Word>> MpcSimulator::communicate(

@@ -30,12 +30,15 @@ struct MpcConfig {
 
 class MpcSimulator {
  public:
-  /// `threads` is forwarded to the round engine's stepping pool (0 selects
-  /// the default; see runtime::EngineConfig). Results are bit-identical for
-  /// every thread count.
-  explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0);
+  /// `threads` is forwarded to the round engine's stepping pool and
+  /// `shards` to its multi-process backend (0 selects the defaults; see
+  /// runtime::EngineConfig). Results are bit-identical for every thread and
+  /// shard count.
+  explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0,
+                        std::size_t shards = 0);
 
   std::size_t numMachines() const { return cfg_.numMachines; }
+  std::size_t numShards() const { return engine_.numShards(); }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
   std::size_t rounds() const { return engine_.rounds(); }

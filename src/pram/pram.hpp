@@ -48,7 +48,9 @@ class LeaderForest {
   /// least n cells — fewer throws): every member of the smaller set writes
   /// the new leader into its own pointer cell. The engine's ledger then
   /// equals the depth/work counters: rounds == depthCharged(),
-  /// words == workCharged().
+  /// words == workCharged(). A sharded engine (EngineConfig::shards > 1)
+  /// works unchanged — the write rounds are bit-identical by the engine's
+  /// cross-shard determinism guarantee.
   void attachEngine(runtime::RoundEngine* engine) {
     if (engine && engine->numMachines() < leader_.size())
       throw std::invalid_argument(

@@ -1,7 +1,10 @@
 #include "runtime/round_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "runtime/shard/sharded_engine.hpp"
 
 namespace mpcspan::runtime {
 
@@ -13,12 +16,38 @@ RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
     throw std::invalid_argument("RoundEngine: numMachines must be positive");
   if (!topology_) throw std::invalid_argument("RoundEngine: null topology");
   inboxes_.resize(numMachines_);
+
+  // Backend selection (the engine factory): 1 shard keeps the in-process
+  // path below; more forks a worker process per shard each round. The
+  // stepping lanes are split across the shard workers.
+  std::size_t shards =
+      cfg.shards == 0 ? shard::ShardedEngine::defaultShards() : cfg.shards;
+  shards = std::min(shards, numMachines_);
+  if (shards > 1) {
+    const std::size_t perShard = std::max<std::size_t>(
+        1, pool_.numThreads() / shards);
+    shard_ = std::make_unique<shard::ShardedEngine>(numMachines_, shards,
+                                                    perShard, topology_.get());
+  }
+}
+
+RoundEngine::~RoundEngine() = default;
+
+std::size_t RoundEngine::numShards() const {
+  return shard_ ? shard_->numShards() : 1;
 }
 
 std::vector<std::vector<Delivery>> RoundEngine::exchange(
     std::vector<std::vector<Message>> outboxes) {
   if (outboxes.size() != numMachines_)
     throw std::invalid_argument("RoundEngine: outboxes size mismatch");
+
+  if (shard_) {
+    std::size_t roundWords = 0;
+    auto inbox = shard_->exchange(outboxes, roundWords);
+    ledger_.noteRound(roundWords);
+    return inbox;
+  }
 
   // Index pass (serial, no payload movement): per-destination list of
   // (src, outbox position), naturally in (src, position) order.
@@ -60,6 +89,12 @@ std::vector<std::vector<Delivery>> RoundEngine::exchange(
 }
 
 void RoundEngine::step(const StepFn& fn) {
+  if (shard_) {
+    // Compute in the shard workers, then run the (sharded) exchange over
+    // the assembled outboxes — two forked waves per round, one per phase.
+    inboxes_ = exchange(shard_->computeOutboxes(fn, inboxes_));
+    return;
+  }
   std::vector<std::vector<Message>> outboxes(numMachines_);
   pool_.parallelFor(numMachines_,
                     [&](std::size_t m) { outboxes[m] = fn(m, inboxes_[m]); });

@@ -4,10 +4,13 @@
 // The engine owns a set of simulated machines, a Topology transport policy
 // (what a legal round looks like in the chosen model), a work-stealing
 // thread pool that steps machines in parallel *within* a round, and the
-// round/traffic ledger. Message delivery is deterministic: every inbox
-// holds its deliveries in (source id, send position) order regardless of
-// the thread count, so a 1-thread and an N-thread run of the same workload
-// are bit-identical — rounds, traffic totals, and message contents.
+// round/traffic ledger. With EngineConfig::shards > 1 (or MPCSPAN_SHARDS)
+// the machines are partitioned over forked worker processes instead — see
+// runtime/shard/sharded_engine.hpp — behind this same interface. Message
+// delivery is deterministic: every inbox holds its deliveries in (source
+// id, send position) order regardless of the thread or shard count, so
+// 1-thread, N-thread, 1-shard, and N-shard runs of the same workload are
+// bit-identical — rounds, traffic totals, and message contents.
 //
 // MpcSimulator and CongestedClique are thin model-specific facades over
 // this class; see src/runtime/README.md for the design.
@@ -22,18 +25,30 @@
 
 namespace mpcspan::runtime {
 
+namespace shard {
+class ShardedEngine;
+}
+
 struct EngineConfig {
   std::size_t numMachines = 0;
   /// Lanes of the stepping pool, including the caller; 0 selects the
   /// default (MPCSPAN_THREADS env var, else hardware concurrency).
   std::size_t threads = 0;
+  /// Worker processes the machines are partitioned over. 1 runs everything
+  /// in-process (the single-node special case); 0 selects the default
+  /// (MPCSPAN_SHARDS env var, else 1). Clamped to numMachines. Sharded or
+  /// not, the same workload is bit-identical — rounds, ledger, contents.
+  std::size_t shards = 0;
 };
 
 class RoundEngine {
  public:
   RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology);
+  ~RoundEngine();
 
   std::size_t numMachines() const { return numMachines_; }
+  /// Worker processes executing the rounds (1 = in-process).
+  std::size_t numShards() const;
   const Topology& topology() const { return *topology_; }
   ThreadPool& pool() { return pool_; }
 
@@ -77,6 +92,8 @@ class RoundEngine {
   ThreadPool pool_;
   Accounting ledger_;
   std::vector<std::vector<Delivery>> inboxes_;
+  /// Multi-process backend; null when shards resolve to 1 (in-process).
+  std::unique_ptr<shard::ShardedEngine> shard_;
 };
 
 }  // namespace mpcspan::runtime

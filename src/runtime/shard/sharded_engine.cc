@@ -1,0 +1,395 @@
+#include "runtime/shard/sharded_engine.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace mpcspan::runtime::shard {
+
+namespace {
+
+// Error kinds carried in a worker's phase-1 / result headers. The exception
+// type cannot cross the process boundary, so it travels as a tag and is
+// re-thrown coordinator-side.
+constexpr std::uint8_t kOk = 0;
+constexpr std::uint8_t kCapacityError = 1;
+constexpr std::uint8_t kBoundsError = 2;
+constexpr std::uint8_t kOtherError = 3;
+
+struct Worker {
+  pid_t pid = -1;
+  WireFd fd;  // coordinator end of the socketpair
+};
+
+/// Forks one worker per shard; `body(s, fd)` runs in the child, which then
+/// exits without unwinding (no destructors, no atexit — the child shares
+/// the parent's stdio buffers and thread-owning objects by fork).
+std::vector<Worker> forkWorkers(
+    std::size_t shards, const std::function<void(std::size_t, WireFd&)>& body) {
+  std::vector<WireFd> parentEnds(shards);
+  std::vector<WireFd> childEnds(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    makeSocketPair(parentEnds[s], childEnds[s]);
+
+  std::vector<Worker> workers(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Abort the round: close our ends (children see EOF and exit) and
+      // reap what was already forked.
+      for (std::size_t j = 0; j < s; ++j) {
+        workers[j].fd.reset();
+        int st = 0;
+        ::waitpid(workers[j].pid, &st, 0);
+      }
+      throw ShardError("ShardedEngine: fork failed");
+    }
+    if (pid == 0) {
+      // Worker: keep only this shard's child end. All pairs were created
+      // before the first fork, so every sibling end is inherited and must
+      // be dropped for EOF detection to work.
+      for (std::size_t j = 0; j < shards; ++j) {
+        parentEnds[j].reset();
+        if (j != s) childEnds[j].reset();
+      }
+      try {
+        body(s, childEnds[s]);
+      } catch (...) {
+        // Broken socket mid-protocol (coordinator died). Nothing to do.
+        std::_Exit(3);
+      }
+      std::_Exit(0);
+    }
+    workers[s].pid = pid;
+    workers[s].fd = std::move(parentEnds[s]);
+  }
+  // Coordinator: drop the child ends so a worker's death is visible as EOF.
+  for (std::size_t s = 0; s < shards; ++s) childEnds[s].reset();
+  return workers;
+}
+
+/// Reaps every worker. Closing the coordinator ends first unblocks any
+/// worker still waiting on the barrier byte (it reads EOF and exits).
+void reapWorkers(std::vector<Worker>& workers, bool& anyCrashed) {
+  for (Worker& w : workers) w.fd.reset();
+  for (Worker& w : workers) {
+    if (w.pid < 0) continue;
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+    if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) anyCrashed = true;
+    w.pid = -1;
+  }
+}
+
+[[noreturn]] void rethrow(std::uint8_t kind, const std::string& msg) {
+  switch (kind) {
+    case kCapacityError:
+      throw CapacityError(msg);
+    case kBoundsError:
+      throw std::invalid_argument(msg);
+    default:
+      throw std::runtime_error(msg);
+  }
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
+                             std::size_t threadsPerShard,
+                             const Topology* topology)
+    : numMachines_(numMachines),
+      shards_(shards),
+      threadsPerShard_(threadsPerShard == 0 ? 1 : threadsPerShard),
+      topology_(topology) {
+  if (numMachines_ == 0)
+    throw std::invalid_argument("ShardedEngine: numMachines must be positive");
+  if (shards_ < 2 || shards_ > numMachines_)
+    throw std::invalid_argument(
+        "ShardedEngine: shards must be in [2, numMachines]");
+  if (!topology_) throw std::invalid_argument("ShardedEngine: null topology");
+}
+
+std::size_t ShardedEngine::shardBegin(std::size_t s) const {
+  // Same balanced contiguous split as ThreadPool's lane slices.
+  const std::size_t base = numMachines_ / shards_;
+  const std::size_t extra = numMachines_ % shards_;
+  return s * base + std::min(s, extra);
+}
+
+std::size_t ShardedEngine::defaultShards() {
+  if (const char* env = std::getenv("MPCSPAN_SHARDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+std::vector<std::vector<Delivery>> ShardedEngine::exchange(
+    const std::vector<std::vector<Message>>& outboxes,
+    std::size_t& roundWords) {
+  const std::size_t n = numMachines_;
+  const bool priorityWrite = topology_->mode() == Topology::Mode::kPriorityWrite;
+
+  std::vector<Worker> workers = forkWorkers(shards_, [&](std::size_t s,
+                                                         WireFd& fd) {
+    const std::size_t lo = shardBegin(s), hi = shardEnd(s);
+
+    // --- Phase 1: validate locally (bounds + this range's topology
+    // constraints), report {ok, words sent by my sources} or the error.
+    std::uint8_t kind = kOk;
+    std::string err;
+    std::uint64_t words = 0;
+    try {
+      for (std::size_t src = lo; src < hi; ++src)
+        for (const Message& msg : outboxes[src])
+          if (msg.dst >= n)
+            throw std::invalid_argument(
+                "RoundEngine: message to unknown machine");
+      words = topology_->validateSlice(n, outboxes, lo, hi);
+    } catch (const CapacityError& e) {
+      kind = kCapacityError;
+      err = e.what();
+    } catch (const std::invalid_argument& e) {
+      kind = kBoundsError;
+      err = e.what();
+    } catch (const std::exception& e) {
+      kind = kOtherError;
+      err = e.what();
+    }
+    {
+      WireWriter report;
+      report.u8(kind);
+      if (kind == kOk)
+        report.u64(words);
+      else
+        report.str(err);
+      report.sendFramed(fd);
+    }
+    if (kind != kOk) return;  // the coordinator aborts the round
+
+    // --- Barrier: the round commits only once every shard validated. A 0
+    // byte means another shard failed validation — exit cleanly; only a
+    // torn socket (coordinator death) surfaces as an abnormal exit.
+    std::uint8_t go = 0;
+    fd.readAll(&go, 1);
+    if (go == 0) return;
+
+    // --- Phase 2: materialize this shard's destination range. The index
+    // pass scans sources in ascending (src, position) order, which *is* the
+    // delivery order — the merge is deterministic by construction.
+    const std::size_t local = hi - lo;
+    struct Ref {
+      std::uint32_t src;
+      std::uint32_t pos;
+    };
+    std::vector<std::vector<Ref>> byDst(local);
+    for (std::size_t src = 0; src < n; ++src) {
+      const auto& outbox = outboxes[src];
+      for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
+        const std::size_t d = outbox[pos].dst;
+        if (d >= lo && d < hi)
+          byDst[d - lo].push_back({static_cast<std::uint32_t>(src),
+                                   static_cast<std::uint32_t>(pos)});
+      }
+    }
+    // Serialize each destination's deliveries on the shard's local pool
+    // (disjoint fragments), then concatenate in destination order.
+    std::vector<WireWriter> fragments(local);
+    ThreadPool pool(threadsPerShard_);
+    pool.parallelFor(local, [&](std::size_t i) {
+      const auto& refs = byDst[i];
+      const std::size_t take =
+          priorityWrite && !refs.empty() ? 1 : refs.size();
+      WireWriter& w = fragments[i];
+      w.u64(take);
+      for (std::size_t r = 0; r < take; ++r) {
+        const Payload& p = outboxes[refs[r].src][refs[r].pos].payload;
+        w.u64(refs[r].src);
+        w.u64(p.size());
+        w.words(p.data(), p.size());
+      }
+    });
+    WireWriter body;
+    for (const WireWriter& f : fragments) body.append(f);
+    body.sendFramed(fd);
+  });
+
+  // --- Coordinator, phase 1: collect every report before releasing anyone.
+  struct Report {
+    std::uint8_t kind = kOk;
+    std::uint64_t words = 0;
+    std::string err;
+  };
+  std::vector<Report> reports(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    try {
+      WireReader r = WireReader::recvFramed(workers[s].fd);
+      reports[s].kind = r.u8();
+      if (reports[s].kind == kOk)
+        reports[s].words = r.u64();
+      else
+        reports[s].err = r.str();
+    } catch (const ShardError& e) {
+      reports[s].kind = kOtherError;
+      reports[s].err = e.what();
+    }
+  }
+  for (std::size_t s = 0; s < shards_; ++s) {
+    if (reports[s].kind == kOk) continue;
+    // Abort: release the barrier with a 0 byte so healthy workers exit
+    // cleanly (best effort — a dead worker's socket just errors), then reap
+    // and surface the lowest failed shard's error.
+    for (std::size_t j = 0; j < shards_; ++j) {
+      const std::uint8_t stop = 0;
+      try {
+        workers[j].fd.writeAll(&stop, 1);
+      } catch (const ShardError&) {
+      }
+    }
+    bool crashed = false;
+    reapWorkers(workers, crashed);
+    rethrow(reports[s].kind, reports[s].err);
+  }
+
+  // --- Barrier release.
+  for (std::size_t s = 0; s < shards_; ++s) {
+    const std::uint8_t go = 1;
+    try {
+      workers[s].fd.writeAll(&go, 1);
+    } catch (const ShardError& e) {
+      bool crashed = false;
+      reapWorkers(workers, crashed);
+      throw ShardError(std::string("shard ") + std::to_string(s) +
+                       " died at the barrier: " + e.what());
+    }
+  }
+
+  // --- Coordinator, phase 2: merge fragments in shard (= destination) order.
+  std::vector<std::vector<Delivery>> inbox(n);
+  std::vector<Word> scratch;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    WireReader r = [&] {
+      try {
+        return WireReader::recvFramed(workers[s].fd);
+      } catch (const ShardError& e) {
+        bool crashed = false;
+        reapWorkers(workers, crashed);
+        throw ShardError(std::string("shard ") + std::to_string(s) +
+                         " died in delivery: " + e.what());
+      }
+    }();
+    for (std::size_t d = shardBegin(s); d < shardEnd(s); ++d) {
+      const std::uint64_t count = r.u64();
+      inbox[d].reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t src = r.u64();
+        const std::uint64_t len = r.u64();
+        scratch.resize(len);
+        r.words(scratch.data(), len);
+        inbox[d].push_back(
+            {static_cast<std::size_t>(src), Payload(scratch.data(), len)});
+      }
+    }
+  }
+
+  bool crashed = false;
+  reapWorkers(workers, crashed);
+  if (crashed) throw ShardError("a shard worker exited abnormally");
+
+  roundWords = 0;
+  for (const Report& rep : reports) roundWords += rep.words;
+  return inbox;
+}
+
+std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
+    const StepFn& fn, const std::vector<std::vector<Delivery>>& inboxes) {
+  const std::size_t n = numMachines_;
+
+  std::vector<Worker> workers =
+      forkWorkers(shards_, [&](std::size_t s, WireFd& fd) {
+        const std::size_t lo = shardBegin(s), hi = shardEnd(s);
+        const std::size_t local = hi - lo;
+        std::uint8_t kind = kOk;
+        std::string err;
+        std::vector<std::vector<Message>> out(local);
+        try {
+          ThreadPool pool(threadsPerShard_);
+          pool.parallelFor(local, [&](std::size_t i) {
+            out[i] = fn(lo + i, inboxes[lo + i]);
+          });
+        } catch (const CapacityError& e) {
+          kind = kCapacityError;
+          err = e.what();
+        } catch (const std::exception& e) {
+          kind = kOtherError;
+          err = e.what();
+        }
+        WireWriter body;
+        body.u8(kind);
+        if (kind != kOk) {
+          body.str(err);
+        } else {
+          for (const auto& outbox : out) {
+            body.u64(outbox.size());
+            for (const Message& m : outbox) {
+              body.u64(m.dst);
+              body.u64(m.payload.size());
+              body.words(m.payload.data(), m.payload.size());
+            }
+          }
+        }
+        body.sendFramed(fd);
+      });
+
+  std::vector<std::vector<Message>> outboxes(n);
+  std::uint8_t failKind = kOk;
+  std::string failErr;
+  std::vector<Word> scratch;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    WireReader r = [&]() -> WireReader {
+      try {
+        return WireReader::recvFramed(workers[s].fd);
+      } catch (const ShardError& e) {
+        if (failKind == kOk) {
+          failKind = kOtherError;
+          failErr = std::string("shard ") + std::to_string(s) +
+                    " died in step: " + e.what();
+        }
+        return WireReader();
+      }
+    }();
+    if (failKind != kOk) continue;  // keep draining frames, keep first error
+    const std::uint8_t kind = r.u8();
+    if (kind != kOk) {
+      failKind = kind;
+      failErr = r.str();
+      continue;
+    }
+    for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m) {
+      const std::uint64_t count = r.u64();
+      outboxes[m].reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t dst = r.u64();
+        const std::uint64_t len = r.u64();
+        scratch.resize(len);
+        r.words(scratch.data(), len);
+        outboxes[m].push_back(
+            {static_cast<std::size_t>(dst), Payload(scratch.data(), len)});
+      }
+    }
+  }
+
+  bool crashed = false;
+  reapWorkers(workers, crashed);
+  if (failKind != kOk) rethrow(failKind, failErr);
+  if (crashed) throw ShardError("a shard worker exited abnormally");
+  return outboxes;
+}
+
+}  // namespace mpcspan::runtime::shard

@@ -1,0 +1,87 @@
+// ShardedEngine — the multi-process backend of runtime::RoundEngine.
+//
+// The simulated machines are partitioned into contiguous shards; every round
+// each shard is executed by a worker *process* (fork + socketpair, never
+// exec) that runs the existing work-stealing ThreadPool over its local
+// machines. Rounds are synchronized by a two-phase barrier protocol:
+//
+//   phase 1  validate-locally: each worker bounds-checks and
+//            Topology::validateSlice()-validates the constraints owned by
+//            its machine range and reports {ok, words sent} (or the error)
+//            to the coordinator;
+//   barrier  the coordinator collects every report before releasing anyone;
+//            one failed shard aborts the round for all (the same loud
+//            CapacityError the in-process engine throws);
+//   phase 2  exchange cross-shard outboxes: each worker materializes the
+//            deliveries of its destination range and ships them back; the
+//            coordinator merges the fragments in stable (source id, send
+//            position) order.
+//
+// Because the delivery order is fixed by that serial merge rule — never by
+// process or thread scheduling — a 1-shard, N-shard, 1-thread, and N-thread
+// run of the same workload are bit-identical: same rounds, same traffic
+// ledger, same message contents. RoundEngine asserts nothing weaker.
+//
+// Workers are forked per round, not kept resident: fork gives every phase a
+// copy-on-write snapshot of the full round state (outboxes, inboxes, the
+// step closure), which is what lets arbitrary StepFn closures run unchanged
+// in a worker process. A fork costs ~100us — noise next to a simulated
+// round — and a crashed or deadlocked worker can never poison the next
+// round.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/shard/wire.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/types.hpp"
+
+namespace mpcspan::runtime::shard {
+
+class ShardedEngine {
+ public:
+  /// `topology` is borrowed from the owning RoundEngine. `threadsPerShard`
+  /// is the lane count of each worker's local pool (>= 1). `shards` must be
+  /// in [2, numMachines] — a single shard is RoundEngine's in-process path.
+  ShardedEngine(std::size_t numMachines, std::size_t shards,
+                std::size_t threadsPerShard, const Topology* topology);
+
+  std::size_t numShards() const { return shards_; }
+  std::size_t threadsPerShard() const { return threadsPerShard_; }
+
+  /// Machine range [shardBegin(s), shardEnd(s)) owned by shard s.
+  std::size_t shardBegin(std::size_t s) const;
+  std::size_t shardEnd(std::size_t s) const { return shardBegin(s + 1); }
+
+  using StepFn = std::function<std::vector<Message>(
+      std::size_t machine, const std::vector<Delivery>& inbox)>;
+
+  /// One sharded synchronous round over the two-phase barrier. Returns the
+  /// per-machine inboxes and writes the words moved to `roundWords` (the
+  /// caller owns the ledger). Throws CapacityError / std::invalid_argument
+  /// exactly as the in-process path would, and ShardError if a worker dies.
+  std::vector<std::vector<Delivery>> exchange(
+      const std::vector<std::vector<Message>>& outboxes,
+      std::size_t& roundWords);
+
+  /// The compute half of RoundEngine::step, sharded: runs fn over each
+  /// shard's machines inside that shard's worker process (on its local
+  /// pool) and returns the assembled full outboxes. An exception thrown by
+  /// fn is re-thrown here as CapacityError (if it was one) or
+  /// std::runtime_error — the type cannot cross the process boundary.
+  std::vector<std::vector<Message>> computeOutboxes(
+      const StepFn& fn, const std::vector<std::vector<Delivery>>& inboxes);
+
+  /// The MPCSPAN_SHARDS env var (clamped to >= 1), else 1.
+  static std::size_t defaultShards();
+
+ private:
+  std::size_t numMachines_;
+  std::size_t shards_;
+  std::size_t threadsPerShard_;
+  const Topology* topology_;
+};
+
+}  // namespace mpcspan::runtime::shard

@@ -1,0 +1,118 @@
+#include "runtime/shard/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mpcspan::runtime::shard {
+
+void WireFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void WireFd::writeAll(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE (-> ShardError), not
+    // kill the whole process with SIGPIPE.
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ShardError(std::string("shard wire write: ") + std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void WireFd::readAll(void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd_, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw ShardError(std::string("shard wire read: ") + std::strerror(errno));
+    }
+    if (r == 0) throw ShardError("shard wire read: peer closed (worker died?)");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+void makeSocketPair(WireFd& parentEnd, WireFd& childEnd) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw ShardError(std::string("socketpair: ") + std::strerror(errno));
+  parentEnd.reset(fds[0]);
+  childEnd.reset(fds[1]);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf_.insert(buf_.end(), p, p + sizeof(v));
+}
+
+void WireWriter::words(const Word* p, std::size_t n) {
+  const auto* b = reinterpret_cast<const std::uint8_t*>(p);
+  buf_.insert(buf_.end(), b, b + n * sizeof(Word));
+}
+
+void WireWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::append(const WireWriter& other) {
+  buf_.insert(buf_.end(), other.buf_.begin(), other.buf_.end());
+}
+
+void WireWriter::sendFramed(WireFd& fd) const {
+  const std::uint64_t len = buf_.size();
+  fd.writeAll(&len, sizeof(len));
+  if (len > 0) fd.writeAll(buf_.data(), buf_.size());
+}
+
+WireReader WireReader::recvFramed(WireFd& fd) {
+  std::uint64_t len = 0;
+  fd.readAll(&len, sizeof(len));
+  WireReader r;
+  r.buf_.resize(len);
+  if (len > 0) fd.readAll(r.buf_.data(), len);
+  return r;
+}
+
+void WireReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) throw ShardError("shard wire frame: truncated");
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint64_t WireReader::u64() {
+  need(sizeof(std::uint64_t));
+  std::uint64_t v;
+  std::memcpy(&v, buf_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void WireReader::words(Word* out, std::size_t n) {
+  need(n * sizeof(Word));
+  std::memcpy(out, buf_.data() + pos_, n * sizeof(Word));
+  pos_ += n * sizeof(Word);
+}
+
+}  // namespace mpcspan::runtime::shard

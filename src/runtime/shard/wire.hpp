@@ -1,0 +1,105 @@
+// Byte-level transport between the ShardedEngine coordinator and its forked
+// shard workers: an owned socketpair end plus length-framed message helpers.
+//
+// The framing is deliberately dumb — host-endian u64/u8 fields appended to a
+// flat buffer, sent as one `u64 length + body` frame per protocol phase —
+// because both ends are always the same binary on the same host (workers are
+// fork()ed, never exec()ed). Every helper throws ShardError on short
+// reads/writes or peer death; the engine converts that into a loud round
+// failure rather than a hang.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace mpcspan::runtime::shard {
+
+/// Transport-layer failure between the coordinator and a shard worker (a
+/// worker died mid-round, a socket broke). Distinct from CapacityError: this
+/// is an infrastructure fault, not an algorithm/model violation.
+class ShardError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One end of a shard socketpair; owns and closes the fd.
+class WireFd {
+ public:
+  WireFd() = default;
+  explicit WireFd(int fd) : fd_(fd) {}
+  ~WireFd() { reset(); }
+
+  WireFd(const WireFd&) = delete;
+  WireFd& operator=(const WireFd&) = delete;
+  WireFd(WireFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  WireFd& operator=(WireFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void reset(int fd = -1);
+
+  /// Blocking full-buffer send/recv (EINTR-safe, SIGPIPE suppressed).
+  /// Throws ShardError on EOF, peer death, or any socket error.
+  void writeAll(const void* buf, std::size_t n);
+  void readAll(void* buf, std::size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a connected AF_UNIX stream socketpair (parent end, child end).
+void makeSocketPair(WireFd& parentEnd, WireFd& childEnd);
+
+/// Append-only frame builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u64(std::uint64_t v);
+  void words(const Word* p, std::size_t n);
+  void str(const std::string& s);
+
+  /// Appends another writer's buffer verbatim (used to concatenate
+  /// per-destination fragments built in parallel).
+  void append(const WireWriter& other);
+
+  std::size_t size() const { return buf_.size(); }
+
+  /// Sends `u64 length + body` as one frame.
+  void sendFramed(WireFd& fd) const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Cursor over one received frame.
+class WireReader {
+ public:
+  static WireReader recvFramed(WireFd& fd);
+
+  std::uint8_t u8();
+  std::uint64_t u64();
+  std::string str();
+  /// Reads n words into out (which must have room for n).
+  void words(Word* out, std::size_t n);
+  bool atEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mpcspan::runtime::shard

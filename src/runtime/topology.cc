@@ -4,20 +4,23 @@
 
 namespace mpcspan::runtime {
 
-std::size_t MpcTopology::validate(
-    std::size_t numMachines,
-    const std::vector<std::vector<Message>>& outboxes) const {
+std::size_t MpcTopology::validateSlice(
+    std::size_t numMachines, const std::vector<std::vector<Message>>& outboxes,
+    std::size_t begin, std::size_t end) const {
+  // Send budgets are attributable to sources, receive budgets to
+  // destinations; a slice owns both sides for its machine range, so scanning
+  // the full round's outboxes once suffices for any [begin, end).
   std::vector<std::size_t> sent(numMachines, 0);
   std::vector<std::size_t> received(numMachines, 0);
-  std::size_t roundWords = 0;
+  std::size_t sliceWords = 0;
   for (std::size_t src = 0; src < outboxes.size(); ++src) {
     for (const Message& msg : outboxes[src]) {
       sent[src] += msg.payload.size();
       received[msg.dst] += msg.payload.size();
-      roundWords += msg.payload.size();
+      if (src >= begin && src < end) sliceWords += msg.payload.size();
     }
   }
-  for (std::size_t i = 0; i < numMachines; ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     if (sent[i] > wordsPerMachine_)
       throw CapacityError("machine " + std::to_string(i) + " sends " +
                           std::to_string(sent[i]) + " words > capacity " +
@@ -27,15 +30,17 @@ std::size_t MpcTopology::validate(
                           std::to_string(received[i]) + " words > capacity " +
                           std::to_string(wordsPerMachine_));
   }
-  return roundWords;
+  return sliceWords;
 }
 
-std::size_t CliqueTopology::validate(
-    std::size_t numMachines,
-    const std::vector<std::vector<Message>>& outboxes) const {
-  std::size_t roundWords = 0;
+std::size_t CliqueTopology::validateSlice(
+    std::size_t numMachines, const std::vector<std::vector<Message>>& outboxes,
+    std::size_t begin, std::size_t end) const {
+  // Every clique constraint (one single-word message per ordered pair) is
+  // attributable to the source, so a slice only scans its own sources.
+  std::size_t sliceWords = 0;
   std::vector<char> usedRow;  // lazily sized per source
-  for (std::size_t src = 0; src < outboxes.size(); ++src) {
+  for (std::size_t src = begin; src < end && src < outboxes.size(); ++src) {
     if (outboxes[src].empty()) continue;
     usedRow.assign(numMachines, 0);
     for (const Message& msg : outboxes[src]) {
@@ -48,24 +53,26 @@ std::size_t CliqueTopology::validate(
                             "," + std::to_string(msg.dst) +
                             ") used twice in one round");
       usedRow[msg.dst] = 1;
-      ++roundWords;
+      ++sliceWords;
     }
   }
-  return roundWords;
+  return sliceWords;
 }
 
-std::size_t PramTopology::validate(
+std::size_t PramTopology::validateSlice(
     std::size_t /*numMachines*/,
-    const std::vector<std::vector<Message>>& outboxes) const {
-  std::size_t roundWords = 0;
-  for (const auto& outbox : outboxes)
-    for (const Message& msg : outbox) {
+    const std::vector<std::vector<Message>>& outboxes, std::size_t begin,
+    std::size_t end) const {
+  // Single-word writes are a source-side constraint.
+  std::size_t sliceWords = 0;
+  for (std::size_t src = begin; src < end && src < outboxes.size(); ++src)
+    for (const Message& msg : outboxes[src]) {
       if (msg.payload.size() != 1)
         throw CapacityError("PRAM: a memory cell holds one word, write of " +
                             std::to_string(msg.payload.size()) + " words");
-      ++roundWords;
+      ++sliceWords;
     }
-  return roundWords;
+  return sliceWords;
 }
 
 }  // namespace mpcspan::runtime

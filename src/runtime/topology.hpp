@@ -40,9 +40,22 @@ class Topology {
   /// Validates one round's outboxes (outboxes[src] = messages machine src
   /// sends; destination ids already bounds-checked by the engine). Throws
   /// CapacityError on a model violation. Returns the words moved.
-  virtual std::size_t validate(
+  std::size_t validate(std::size_t numMachines,
+                       const std::vector<std::vector<Message>>& outboxes) const {
+    return validateSlice(numMachines, outboxes, 0, numMachines);
+  }
+
+  /// Shardable validation: checks every constraint *attributable to machines
+  /// in [begin, end)* — their sends and their receives — against the full
+  /// round's outboxes, and returns the words sent by sources in the range.
+  /// The union over a partition of [0, numMachines) validates the whole
+  /// round, and the per-slice word counts sum to validate()'s return; this
+  /// is what lets ShardedEngine's workers validate locally in phase one of
+  /// the round barrier.
+  virtual std::size_t validateSlice(
       std::size_t numMachines,
-      const std::vector<std::vector<Message>>& outboxes) const = 0;
+      const std::vector<std::vector<Message>>& outboxes, std::size_t begin,
+      std::size_t end) const = 0;
 
   virtual Mode mode() const { return Mode::kDeliverAll; }
 };
@@ -54,9 +67,9 @@ class MpcTopology final : public Topology {
 
   const char* name() const override { return "mpc"; }
   std::size_t wordsPerMachine() const { return wordsPerMachine_; }
-  std::size_t validate(
-      std::size_t numMachines,
-      const std::vector<std::vector<Message>>& outboxes) const override;
+  std::size_t validateSlice(std::size_t numMachines,
+                            const std::vector<std::vector<Message>>& outboxes,
+                            std::size_t begin, std::size_t end) const override;
 
  private:
   std::size_t wordsPerMachine_;
@@ -65,17 +78,17 @@ class MpcTopology final : public Topology {
 class CliqueTopology final : public Topology {
  public:
   const char* name() const override { return "clique"; }
-  std::size_t validate(
-      std::size_t numMachines,
-      const std::vector<std::vector<Message>>& outboxes) const override;
+  std::size_t validateSlice(std::size_t numMachines,
+                            const std::vector<std::vector<Message>>& outboxes,
+                            std::size_t begin, std::size_t end) const override;
 };
 
 class PramTopology final : public Topology {
  public:
   const char* name() const override { return "pram"; }
-  std::size_t validate(
-      std::size_t numMachines,
-      const std::vector<std::vector<Message>>& outboxes) const override;
+  std::size_t validateSlice(std::size_t numMachines,
+                            const std::vector<std::vector<Message>>& outboxes,
+                            std::size_t begin, std::size_t end) const override;
   Mode mode() const override { return Mode::kPriorityWrite; }
 };
 

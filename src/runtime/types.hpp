@@ -8,8 +8,12 @@
 // forced cclique to include the MPC header just for them).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace mpcspan {
@@ -26,10 +30,85 @@ class CapacityError : public std::runtime_error {
 
 namespace runtime {
 
+/// Message payload with a single-word fast path. Most traffic in the clique
+/// label rounds and the PRAM write rounds is exactly one word; storing it
+/// inline avoids a heap allocation per message (the constant-factor
+/// regression the flat pre-runtime delivery did not have). Longer payloads
+/// spill to a heap vector. The interface is the read-only slice the engine
+/// and the substrates need — payloads are built as std::vector<Word> (or an
+/// initializer list) and converted on construction.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::initializer_list<Word> ws) { assignAny(ws.begin(), ws.size()); }
+  Payload(const std::vector<Word>& ws) { assignAny(ws.data(), ws.size()); }
+  Payload(std::vector<Word>&& ws) {
+    if (ws.size() <= 1) {
+      assign(ws.data(), ws.size());
+    } else {
+      heap_ = std::move(ws);
+      size_ = kHeapTag;
+    }
+  }
+  Payload(const Word* ws, std::size_t n) { assignAny(ws, n); }
+
+  Payload(const Payload&) = default;
+  Payload& operator=(const Payload&) = default;
+  Payload(Payload&& o) noexcept
+      : inline_(o.inline_), size_(o.size_), heap_(std::move(o.heap_)) {
+    o.size_ = 0;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    inline_ = o.inline_;
+    size_ = o.size_;
+    heap_ = std::move(o.heap_);
+    o.size_ = 0;
+    return *this;
+  }
+
+  std::size_t size() const { return size_ == kHeapTag ? heap_.size() : size_; }
+  bool empty() const { return size() == 0; }
+  const Word* data() const { return size_ == kHeapTag ? heap_.data() : &inline_; }
+  const Word* begin() const { return data(); }
+  const Word* end() const { return data() + size(); }
+  Word operator[](std::size_t i) const { return data()[i]; }
+  Word front() const { return data()[0]; }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Payload& a, const std::vector<Word>& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<Word>& a, const Payload& b) {
+    return b == a;
+  }
+
+ private:
+  static constexpr std::size_t kHeapTag = static_cast<std::size_t>(-1);
+
+  void assign(const Word* ws, std::size_t n) {  // n <= 1
+    inline_ = n ? ws[0] : 0;
+    size_ = n;
+  }
+  void assignAny(const Word* ws, std::size_t n) {
+    if (n <= 1) {
+      assign(ws, n);
+    } else {
+      heap_.assign(ws, ws + n);
+      size_ = kHeapTag;
+    }
+  }
+
+  Word inline_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Word> heap_;
+};
+
 /// A message from one machine to another within a single synchronous round.
 struct Message {
   std::size_t dst;
-  std::vector<Word> payload;
+  Payload payload;
 };
 
 /// A delivered message: the payload plus the sender's id. Inboxes hold
@@ -37,7 +116,7 @@ struct Message {
 /// threads stepped the round.
 struct Delivery {
   std::size_t src;
-  std::vector<Word> payload;
+  Payload payload;
 };
 
 /// Round/traffic ledger shared by all substrates.

@@ -1,0 +1,283 @@
+// The sharded multi-process RoundEngine backend: cross-shard equivalence
+// (1-shard, N-shard, 1-thread, N-thread runs of one workload are
+// bit-identical — rounds, traffic ledger, delivery contents — on all three
+// topologies), the two-phase round barrier's failure modes, and the facades
+// running sharded end-to-end.
+#include "runtime/shard/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "cclique/clique.hpp"
+#include "graph/generators.hpp"
+#include "mpc/dist_spanner.hpp"
+#include "mpc/simulator.hpp"
+#include "pram/pram.hpp"
+#include "runtime/round_engine.hpp"
+#include "spanner/baswana_sen.hpp"
+
+namespace mpcspan {
+namespace {
+
+using runtime::CliqueTopology;
+using runtime::Delivery;
+using runtime::EngineConfig;
+using runtime::Message;
+using runtime::MpcTopology;
+using runtime::PramTopology;
+using runtime::RoundEngine;
+using runtime::Topology;
+using runtime::shard::ShardedEngine;
+
+/// Flattened inboxes of every round plus the ledger, for cross-backend
+/// comparison.
+struct Trace {
+  std::vector<Word> flat;
+  std::size_t rounds = 0;
+  std::size_t words = 0;
+  std::size_t maxRound = 0;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+void recordRound(Trace& trace, const std::vector<std::vector<Delivery>>& inbox) {
+  for (const auto& deliveries : inbox)
+    for (const Delivery& d : deliveries) {
+      trace.flat.push_back(d.src);
+      trace.flat.insert(trace.flat.end(), d.payload.begin(), d.payload.end());
+    }
+}
+
+void finishTrace(Trace& trace, RoundEngine& eng) {
+  trace.rounds = eng.rounds();
+  trace.words = eng.totalWordsSent();
+  trace.maxRound = eng.maxRoundWords();
+}
+
+/// Deterministic all-to-all MPC workload with mixed payload sizes (1-word
+/// fast path and heap spills).
+Trace runMpcWorkload(std::size_t threads, std::size_t shards) {
+  const std::size_t p = 16;
+  RoundEngine eng(EngineConfig{p, threads, shards},
+                  std::make_unique<MpcTopology>(6 * p));
+  EXPECT_EQ(eng.numShards(), shards == 0 ? 1u : shards);
+  Trace trace;
+  std::uint64_t h = 42;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::vector<Message>> out(p);
+    for (std::size_t src = 0; src < p; ++src)
+      for (std::size_t k = 0; k < 3; ++k) {
+        h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::size_t dst = (src + 1 + (h >> 33) % (p - 1)) % p;
+        if (k == 0)
+          out[src].push_back({dst, {h}});  // single word: inline payload
+        else
+          out[src].push_back({dst, {h, h ^ src, h >> 7}});
+      }
+    recordRound(trace, eng.exchange(std::move(out)));
+  }
+  finishTrace(trace, eng);
+  return trace;
+}
+
+TEST(ShardedEngine, MpcWorkloadBitIdenticalAcrossShardsAndThreads) {
+  const Trace base = runMpcWorkload(1, 1);
+  EXPECT_EQ(base.rounds, 8u);
+  for (std::size_t shards : {2u, 3u, 4u, 16u})
+    EXPECT_EQ(base, runMpcWorkload(1, shards)) << shards << " shards";
+  EXPECT_EQ(base, runMpcWorkload(4, 4)) << "4 threads x 4 shards";
+  EXPECT_EQ(base, runMpcWorkload(3, 2)) << "3 threads x 2 shards";
+}
+
+/// Clique workload: every node sends one word to a few distinct peers.
+Trace runCliqueWorkload(std::size_t threads, std::size_t shards) {
+  const std::size_t n = 12;
+  RoundEngine eng(EngineConfig{n, threads, shards},
+                  std::make_unique<CliqueTopology>());
+  Trace trace;
+  for (int round = 1; round <= 6; ++round) {
+    std::vector<std::vector<Message>> out(n);
+    for (std::size_t src = 0; src < n; ++src)
+      for (int j = 0; j < 3; ++j)  // offsets round + {0,4,8}: distinct mod 12
+        out[src].push_back(
+            {(src + static_cast<std::size_t>(round + j * 4)) % n,
+             {src * 1000 + static_cast<std::size_t>(round * 10 + j)}});
+    recordRound(trace, eng.exchange(std::move(out)));
+  }
+  finishTrace(trace, eng);
+  return trace;
+}
+
+TEST(ShardedEngine, CliqueWorkloadBitIdenticalAcrossShards) {
+  const Trace base = runCliqueWorkload(1, 1);
+  for (std::size_t shards : {2u, 4u})
+    EXPECT_EQ(base, runCliqueWorkload(2, shards)) << shards << " shards";
+}
+
+/// PRAM workload: concurrent single-word writes; Priority-CRCW resolution
+/// (lowest writer id) must be identical shard-count independent.
+Trace runPramWorkload(std::size_t threads, std::size_t shards) {
+  const std::size_t n = 10;
+  RoundEngine eng(EngineConfig{n, threads, shards},
+                  std::make_unique<PramTopology>());
+  Trace trace;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::vector<Message>> out(n);
+    for (std::size_t src = 0; src < n; ++src)
+      out[src].push_back({(src * 7 + static_cast<std::size_t>(round)) % 3,
+                          {src * 100 + static_cast<std::size_t>(round)}});
+    recordRound(trace, eng.exchange(std::move(out)));
+  }
+  finishTrace(trace, eng);
+  return trace;
+}
+
+TEST(ShardedEngine, PramPriorityWritesBitIdenticalAcrossShards) {
+  const Trace base = runPramWorkload(1, 1);
+  // All attempted writes count as work even though only one lands per cell.
+  EXPECT_EQ(base.words, 5u * 10u);
+  for (std::size_t shards : {2u, 4u, 5u})
+    EXPECT_EQ(base, runPramWorkload(2, shards)) << shards << " shards";
+}
+
+TEST(ShardedEngine, StepRunsInWorkerProcesses) {
+  // Ring token passing, compute phase executed inside forked shard workers.
+  RoundEngine eng(EngineConfig{8, 2, 4}, std::make_unique<MpcTopology>(8));
+  ASSERT_EQ(eng.numShards(), 4u);
+  eng.step([](std::size_t m, const std::vector<Delivery>&) {
+    std::vector<Message> out;
+    if (m == 0) out.push_back({1, {100}});
+    return out;
+  });
+  for (int r = 0; r < 6; ++r) {
+    eng.step([&](std::size_t m, const std::vector<Delivery>& in) {
+      std::vector<Message> out;
+      if (!in.empty())
+        out.push_back({(m + 1) % eng.numMachines(), {in[0].payload[0] + 1}});
+      return out;
+    });
+  }
+  ASSERT_EQ(eng.inbox(7).size(), 1u);
+  EXPECT_EQ(eng.inbox(7)[0].payload[0], 106u);
+  EXPECT_EQ(eng.rounds(), 7u);
+}
+
+TEST(ShardedEngine, CapacityViolationAbortsTheRoundLoudly) {
+  RoundEngine eng(EngineConfig{4, 1, 2}, std::make_unique<MpcTopology>(2));
+  std::vector<std::vector<Message>> out(4);
+  out[3].push_back({0, {1, 2, 3}});  // sender over budget, validated by shard 1
+  EXPECT_THROW(eng.exchange(std::move(out)), CapacityError);
+  // The engine survives an aborted round: the barrier released every worker.
+  std::vector<std::vector<Message>> ok(4);
+  ok[0].push_back({3, {7}});
+  const auto inbox = eng.exchange(std::move(ok));
+  EXPECT_EQ(inbox[3].size(), 1u);
+  EXPECT_EQ(eng.rounds(), 1u);  // the aborted round was never charged
+}
+
+TEST(ShardedEngine, UnknownDestinationThrowsInvalidArgument) {
+  RoundEngine eng(EngineConfig{4, 1, 2}, std::make_unique<MpcTopology>(8));
+  std::vector<std::vector<Message>> out(4);
+  out[1].push_back({99, {1}});
+  EXPECT_THROW(eng.exchange(std::move(out)), std::invalid_argument);
+}
+
+TEST(ShardedEngine, StepFnExceptionPropagates) {
+  RoundEngine eng(EngineConfig{6, 1, 3}, std::make_unique<MpcTopology>(8));
+  EXPECT_THROW(eng.step([](std::size_t m, const std::vector<Delivery>&)
+                            -> std::vector<Message> {
+                 if (m == 4) throw std::runtime_error("boom in worker");
+                 return {};
+               }),
+               std::runtime_error);
+}
+
+TEST(ShardedEngine, ShardCountClampsToMachines) {
+  RoundEngine eng(EngineConfig{3, 1, 64}, std::make_unique<MpcTopology>(8));
+  EXPECT_EQ(eng.numShards(), 3u);
+}
+
+TEST(ShardedEngine, EnvVarSelectsDefaultShardCount) {
+  ASSERT_EQ(::setenv("MPCSPAN_SHARDS", "2", 1), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 0}, std::make_unique<MpcTopology>(8));
+    EXPECT_EQ(eng.numShards(), 2u);
+  }
+  ASSERT_EQ(::unsetenv("MPCSPAN_SHARDS"), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 0}, std::make_unique<MpcTopology>(8));
+    EXPECT_EQ(eng.numShards(), 1u);
+  }
+}
+
+TEST(ShardedEngine, PartitionIsBalancedAndContiguous) {
+  MpcTopology topo(8);
+  ShardedEngine se(10, 4, 1, &topo);
+  EXPECT_EQ(se.shardBegin(0), 0u);
+  EXPECT_EQ(se.shardEnd(0), 3u);
+  EXPECT_EQ(se.shardEnd(1), 6u);
+  EXPECT_EQ(se.shardEnd(2), 8u);
+  EXPECT_EQ(se.shardEnd(3), 10u);
+  EXPECT_THROW(ShardedEngine(10, 1, 1, &topo), std::invalid_argument);
+  EXPECT_THROW(ShardedEngine(10, 11, 1, &topo), std::invalid_argument);
+}
+
+// --- Facades running sharded, end to end. ---
+
+TEST(ShardedFacades, DistributedBaswanaSenMatchesHostAcrossShards) {
+  Rng rng(1234);
+  const Graph g = gnmRandom(150, 600, rng, {WeightModel::kUniform, 20.0}, true);
+  const SpannerResult host = buildBaswanaSen(g, {.k = 3, .seed = 7});
+
+  const MpcConfig cfg = MpcConfig::forInput(8 * g.numEdges(), 0.6, 3.0);
+  MpcSimulator sharded(cfg, /*threads=*/2, /*shards=*/3);
+  ASSERT_EQ(sharded.numShards(), 3u);
+  const DistSpannerResult dist = buildDistributedBaswanaSen(sharded, g, 3, 7);
+  EXPECT_EQ(dist.edges, host.edges);
+
+  MpcSimulator inProcess(cfg, /*threads=*/1, /*shards=*/1);
+  const DistSpannerResult ref = buildDistributedBaswanaSen(inProcess, g, 3, 7);
+  EXPECT_EQ(dist.edges, ref.edges);
+  EXPECT_EQ(dist.simulatorRounds, ref.simulatorRounds);
+  EXPECT_EQ(dist.wordsMoved, ref.wordsMoved);
+}
+
+TEST(ShardedFacades, CliqueDirectRoundMatchesAcrossShards) {
+  auto run = [](std::size_t shards) {
+    CongestedClique cc(9, /*threads=*/1, shards);
+    std::vector<CongestedClique::Msg> msgs;
+    for (VertexId v = 0; v < 9; ++v)
+      for (VertexId d = 0; d < 9; ++d)
+        if (d != v && (v + d) % 3 == 0) msgs.push_back({v, d, v * 10 + d});
+    return cc.directRound(msgs);
+  };
+  const auto base = run(1);
+  EXPECT_EQ(base, run(3));
+  EXPECT_EQ(base, run(9));
+}
+
+TEST(ShardedFacades, LeaderForestOnShardedPramEngineMatchesHost) {
+  const std::size_t n = 48;
+  LeaderForest plain(n);
+  LeaderForest backed(n);
+  RoundEngine eng(EngineConfig{n, 2, 4}, std::make_unique<PramTopology>());
+  backed.attachEngine(&eng);
+  std::uint64_t h = 7;
+  for (int i = 0; i < 120; ++i) {
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto a = static_cast<std::uint32_t>((h >> 33) % n);
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto b = static_cast<std::uint32_t>((h >> 33) % n);
+    EXPECT_EQ(plain.merge(a, b), backed.merge(a, b));
+  }
+  for (std::uint32_t v = 0; v < n; ++v)
+    EXPECT_EQ(plain.leader(v), backed.leader(v));
+  EXPECT_EQ(eng.rounds(), static_cast<std::size_t>(backed.depthCharged()));
+  EXPECT_EQ(eng.totalWordsSent(),
+            static_cast<std::size_t>(backed.workCharged()));
+}
+
+}  // namespace
+}  // namespace mpcspan

@@ -7,12 +7,21 @@
 //   mpcspan --family gnm --n 10000 --deg 12 --weights uniform
 //           --algo tradeoff --k 8 --t 0 --verify --out spanner.txt
 //   mpcspan --input graph.txt --algo baswana-sen --k 4
+//   mpcspan --algo dist-tradeoff --n 2000 --k 8 --shards 4 --threads 2
+//
+// The dist-* algorithms run end-to-end on the word-accurate MPC machine
+// simulator; --threads sets the stepping-pool lanes and --shards the worker
+// processes of the sharded runtime backend (0 = MPCSPAN_THREADS /
+// MPCSPAN_SHARDS env defaults).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "mpc/dist_spanner.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/cluster_merging.hpp"
 #include "spanner/sqrtk.hpp"
@@ -86,10 +95,14 @@ int main(int argc, char** argv) {
       .flag("weights", "uniform", "unit|uniform|integer|exponential")
       .flag("wmax", "100", "max weight for non-unit models")
       .flag("algo", "tradeoff",
-            "baswana-sen|cluster-merging|sqrtk|tradeoff|unweighted-fast")
+            "baswana-sen|cluster-merging|sqrtk|tradeoff|unweighted-fast|"
+            "dist-baswana-sen|dist-tradeoff")
       .flag("k", "8", "stretch parameter")
       .flag("t", "0", "trade-off growth iterations (0 = log k)")
       .flag("gamma", "0.5", "machine-memory exponent (round conversion; unweighted-fast)")
+      .flag("threads", "0", "stepping-pool lanes (0 = MPCSPAN_THREADS/hardware)")
+      .flag("shards", "0",
+            "simulator worker processes (0 = MPCSPAN_SHARDS, 1 = in-process)")
       .flag("seed", "1", "random seed")
       .flag("verify", "false", "audit stretch (sampled) before exiting")
       .flag("out", "", "write the spanner as an edge list to this path");
@@ -107,6 +120,51 @@ int main(int argc, char** argv) {
     const Graph g = loadGraph(args);
     std::fprintf(stdout, "graph: n=%zu m=%zu %s\n", g.numVertices(), g.numEdges(),
                  g.isUnweighted() ? "(unweighted)" : "(weighted)");
+
+    const std::string algo = args.get("algo");
+    if (algo == "dist-baswana-sen" || algo == "dist-tradeoff") {
+      const auto k = static_cast<std::uint32_t>(args.getInt("k"));
+      const auto t = static_cast<std::uint32_t>(args.getInt("t"));
+      const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+      // Negative counts fall back to the defaults (0 = env var / hardware),
+      // matching the env vars' own garbage handling.
+      MpcSimulator sim(
+          MpcConfig::forInput(8 * g.numEdges(), args.getDouble("gamma"), 3.0),
+          static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("threads"))),
+          static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("shards"))));
+      std::fprintf(stdout, "simulator: %zu machines x %zu words, %zu shard(s)\n",
+                   sim.numMachines(), sim.wordsPerMachine(), sim.numShards());
+      const DistSpannerResult r =
+          algo == "dist-tradeoff"
+              ? buildDistributedTradeoff(sim, g, k, t, seed)
+              : buildDistributedBaswanaSen(sim, g, k, seed);
+      const double bound = 2.0 * k - 1.0;
+      std::fprintf(stdout,
+                   "%s: %zu edges (%.1f%%), k=%u, %zu iterations, "
+                   "%zu simulator rounds, %zu words moved\n",
+                   algo.c_str(), r.edges.size(),
+                   g.numEdges() ? 100.0 * static_cast<double>(r.edges.size()) /
+                                      static_cast<double>(g.numEdges())
+                                : 0.0,
+                   k, r.iterations, r.simulatorRounds, r.wordsMoved);
+      if (args.getBool("verify")) {
+        const StretchReport report = verifySpanner(
+            g, r.edges, bound, {.maxEdgeChecks = 4000, .pairSources = 4});
+        std::fprintf(stdout,
+                     "audit: spanning=%s maxEdgeStretch=%.2f maxPairStretch=%.2f "
+                     "violations=%zu\n",
+                     report.spanning ? "yes" : "NO", report.maxEdgeStretch,
+                     report.maxPairStretch, report.violations);
+        if (!report.spanning || report.violations > 0) return 1;
+      }
+      if (args.has("out")) {
+        const Graph h = subgraph(g, r.edges);
+        writeEdgeListFile(h, args.get("out"));
+        std::fprintf(stdout, "spanner written to %s\n", args.get("out").c_str());
+      }
+      return 0;
+    }
+
     const SpannerResult r = runAlgorithm(args, g);
     std::fprintf(stdout,
                  "%s: %zu edges (%.1f%%), k=%u, %zu iterations / %zu epochs\n",
