@@ -18,14 +18,18 @@ RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
   inboxes_.resize(numMachines_);
 
   // Backend selection (the engine factory): 1 shard keeps the in-process
-  // path below; more forks a worker process per shard each round. The
-  // stepping lanes are split across the shard workers.
+  // path below; more forks a worker process per shard each round, splitting
+  // the configured lane count across the workers. The coordinator keeps its
+  // full-width pool_ anyway — sharded rounds bypass it, but consumers run
+  // their host-side compute through pool()/parallelFor() between rounds,
+  // and ThreadPool spawns its lanes lazily on first use, so a sharded run
+  // that never touches pool() still forks from a single-threaded parent.
   std::size_t shards =
       cfg.shards == 0 ? shard::ShardedEngine::defaultShards() : cfg.shards;
   shards = std::min(shards, numMachines_);
   if (shards > 1) {
-    const std::size_t perShard = std::max<std::size_t>(
-        1, pool_.numThreads() / shards);
+    const std::size_t perShard =
+        std::max<std::size_t>(1, pool_.numThreads() / shards);
     shard_ = std::make_unique<shard::ShardedEngine>(numMachines_, shards,
                                                     perShard, topology_.get());
   }

@@ -73,6 +73,14 @@ class RoundEngine {
   /// parallel on the pool (the inbox is the previous step's deliveries),
   /// then exchanges the produced outboxes. The deliveries are stored and
   /// readable via inbox() until the next step.
+  ///
+  /// Sharded caveat: under shards > 1 the step closure executes in forked
+  /// worker processes against a copy-on-write snapshot, so it may *read*
+  /// any captured state but every mutation it makes to captured state is
+  /// discarded with the worker — only the returned messages survive. A
+  /// StepFn that must behave identically in-process and sharded therefore
+  /// keeps per-machine state in the messages/inboxes it returns, never in
+  /// captured variables.
   using StepFn = std::function<std::vector<Message>(
       std::size_t machine, const std::vector<Delivery>& inbox)>;
   void step(const StepFn& fn);

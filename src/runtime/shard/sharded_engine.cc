@@ -3,6 +3,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -46,7 +47,8 @@ std::vector<Worker> forkWorkers(
       for (std::size_t j = 0; j < s; ++j) {
         workers[j].fd.reset();
         int st = 0;
-        ::waitpid(workers[j].pid, &st, 0);
+        while (::waitpid(workers[j].pid, &st, 0) < 0 && errno == EINTR) {
+        }
       }
       throw ShardError("ShardedEngine: fork failed");
     }
@@ -76,14 +78,51 @@ std::vector<Worker> forkWorkers(
 
 /// Reaps every worker. Closing the coordinator ends first unblocks any
 /// worker still waiting on the barrier byte (it reads EOF and exits).
+/// Crash detection relies on waitpid seeing each child's exit status, so
+/// the host process must not disown its children (SIGCHLD set to SIG_IGN
+/// or SA_NOCLDWAIT): auto-reaped workers read as crashes (ECHILD), which
+/// is loud rather than wrong, but makes every sharded round throw.
 void reapWorkers(std::vector<Worker>& workers, bool& anyCrashed) {
   for (Worker& w : workers) w.fd.reset();
   for (Worker& w : workers) {
     if (w.pid < 0) continue;
     int st = 0;
-    ::waitpid(w.pid, &st, 0);
-    if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) anyCrashed = true;
+    pid_t r;
+    do {
+      r = ::waitpid(w.pid, &st, 0);
+    } while (r < 0 && errno == EINTR);
+    // A wait failure (ECHILD etc.) means the exit status is unknowable —
+    // treat it as a crash rather than reading st == 0 as a clean exit.
+    if (r < 0 || !WIFEXITED(st) || WEXITSTATUS(st) != 0) anyCrashed = true;
     w.pid = -1;
+  }
+}
+
+/// Parses one shard's per-machine section of a phase-2 frame into rows[m]
+/// for m in [lo, hi): a u64 count, then (u64 id, u64 len, len words) per
+/// row. Row is Message (id = dst) or Delivery (id = src). Wire-supplied
+/// sizes are vetted against the frame's remaining bytes before sizing any
+/// container, so a corrupt frame throws ShardError, never bad_alloc.
+template <class Row>
+void parseRows(WireReader& r, std::size_t lo, std::size_t hi,
+               std::vector<std::vector<Row>>& rows) {
+  std::vector<Word> scratch;
+  for (std::size_t m = lo; m < hi; ++m) {
+    const std::uint64_t count = r.u64();
+    // A row is at least two u64s.
+    if (count > r.remaining() / (2 * sizeof(std::uint64_t)))
+      throw ShardError("shard wire frame: corrupt row count");
+    rows[m].reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t id = r.u64();
+      const std::uint64_t len = r.u64();
+      if (len > r.remaining() / sizeof(Word))
+        throw ShardError("shard wire frame: corrupt payload length");
+      scratch.resize(len);
+      r.words(scratch.data(), len);
+      rows[m].push_back(
+          {static_cast<std::size_t>(id), Payload(scratch.data(), len)});
+    }
   }
 }
 
@@ -142,6 +181,10 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
 
     // --- Phase 1: validate locally (bounds + this range's topology
     // constraints), report {ok, words sent by my sources} or the error.
+    // The bounds scan covers this shard's own sources; the union over all
+    // shards covers every message, and a validateSlice that scans sources
+    // outside [lo, hi) checks msg.dst itself (the topology.hpp contract),
+    // so a rogue destination can never index anything out of bounds.
     std::uint8_t kind = kOk;
     std::string err;
     std::uint64_t words = 0;
@@ -227,18 +270,26 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     std::string err;
   };
   std::vector<Report> reports(shards_);
-  for (std::size_t s = 0; s < shards_; ++s) {
-    try {
-      WireReader r = WireReader::recvFramed(workers[s].fd);
-      reports[s].kind = r.u8();
-      if (reports[s].kind == kOk)
-        reports[s].words = r.u64();
-      else
-        reports[s].err = r.str();
-    } catch (const ShardError& e) {
-      reports[s].kind = kOtherError;
-      reports[s].err = e.what();
+  try {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      try {
+        WireReader r = WireReader::recvFramed(workers[s].fd);
+        reports[s].kind = r.u8();
+        if (reports[s].kind == kOk)
+          reports[s].words = r.u64();
+        else
+          reports[s].err = r.str();
+      } catch (const ShardError& e) {
+        reports[s].kind = kOtherError;
+        reports[s].err = e.what();
+      }
     }
+  } catch (...) {
+    // Non-ShardError (e.g. bad_alloc from a corrupted frame-length prefix):
+    // reap before propagating so no worker leaks as a zombie.
+    bool crashed = false;
+    reapWorkers(workers, crashed);
+    throw;
   }
   for (std::size_t s = 0; s < shards_; ++s) {
     if (reports[s].kind == kOk) continue;
@@ -254,6 +305,16 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     }
     bool crashed = false;
     reapWorkers(workers, crashed);
+    // Workers exit 0 even in an aborted round, so an abnormal exit here is
+    // an infrastructure bug (e.g. a sanitizer abort inside a child) — keep
+    // it loud instead of letting the validation error mask it, or CI's
+    // sanitizer jobs would never see a child-side crash.
+    if (crashed && reports[s].kind == kOtherError)
+      throw ShardError("a shard worker exited abnormally (" + reports[s].err +
+                       ")");
+    if (crashed)
+      throw ShardError("a shard worker exited abnormally while aborting on: " +
+                       reports[s].err);
     rethrow(reports[s].kind, reports[s].err);
   }
 
@@ -271,31 +332,26 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
   }
 
   // --- Coordinator, phase 2: merge fragments in shard (= destination) order.
+  // Any failure (worker death, truncated frame, corrupt wire-supplied
+  // count/length) reaps the workers in the enclosing catch before
+  // propagating — no zombies on a bad frame.
   std::vector<std::vector<Delivery>> inbox(n);
-  std::vector<Word> scratch;
-  for (std::size_t s = 0; s < shards_; ++s) {
-    WireReader r = [&] {
-      try {
-        return WireReader::recvFramed(workers[s].fd);
-      } catch (const ShardError& e) {
-        bool crashed = false;
-        reapWorkers(workers, crashed);
-        throw ShardError(std::string("shard ") + std::to_string(s) +
-                         " died in delivery: " + e.what());
-      }
-    }();
-    for (std::size_t d = shardBegin(s); d < shardEnd(s); ++d) {
-      const std::uint64_t count = r.u64();
-      inbox[d].reserve(count);
-      for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t src = r.u64();
-        const std::uint64_t len = r.u64();
-        scratch.resize(len);
-        r.words(scratch.data(), len);
-        inbox[d].push_back(
-            {static_cast<std::size_t>(src), Payload(scratch.data(), len)});
-      }
+  try {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = [&] {
+        try {
+          return WireReader::recvFramed(workers[s].fd);
+        } catch (const ShardError& e) {
+          throw ShardError(std::string("shard ") + std::to_string(s) +
+                           " died in delivery: " + e.what());
+        }
+      }();
+      parseRows(r, shardBegin(s), shardEnd(s), inbox);
     }
+  } catch (...) {
+    bool crashed = false;
+    reapWorkers(workers, crashed);
+    throw;
   }
 
   bool crashed = false;
@@ -350,45 +406,48 @@ std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
   std::vector<std::vector<Message>> outboxes(n);
   std::uint8_t failKind = kOk;
   std::string failErr;
-  std::vector<Word> scratch;
-  for (std::size_t s = 0; s < shards_; ++s) {
-    WireReader r = [&]() -> WireReader {
-      try {
-        return WireReader::recvFramed(workers[s].fd);
-      } catch (const ShardError& e) {
-        if (failKind == kOk) {
-          failKind = kOtherError;
-          failErr = std::string("shard ") + std::to_string(s) +
-                    " died in step: " + e.what();
+  try {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = [&]() -> WireReader {
+        try {
+          return WireReader::recvFramed(workers[s].fd);
+        } catch (const ShardError& e) {
+          if (failKind == kOk) {
+            failKind = kOtherError;
+            failErr = std::string("shard ") + std::to_string(s) +
+                      " died in step: " + e.what();
+          }
+          return WireReader();
         }
-        return WireReader();
+      }();
+      if (failKind != kOk) continue;  // keep draining frames, keep first error
+      const std::uint8_t kind = r.u8();
+      if (kind != kOk) {
+        failKind = kind;
+        failErr = r.str();
+        continue;
       }
-    }();
-    if (failKind != kOk) continue;  // keep draining frames, keep first error
-    const std::uint8_t kind = r.u8();
-    if (kind != kOk) {
-      failKind = kind;
-      failErr = r.str();
-      continue;
+      parseRows(r, shardBegin(s), shardEnd(s), outboxes);
     }
-    for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m) {
-      const std::uint64_t count = r.u64();
-      outboxes[m].reserve(count);
-      for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t dst = r.u64();
-        const std::uint64_t len = r.u64();
-        scratch.resize(len);
-        r.words(scratch.data(), len);
-        outboxes[m].push_back(
-            {static_cast<std::size_t>(dst), Payload(scratch.data(), len)});
-      }
-    }
+  } catch (...) {
+    // Parse failure (truncated frame, corrupt count/length): reap before
+    // propagating so no worker leaks as a zombie.
+    bool crashed = false;
+    reapWorkers(workers, crashed);
+    throw;
   }
 
   bool crashed = false;
   reapWorkers(workers, crashed);
+  // Crash first, then the step error: a worker that reports an error still
+  // exits 0, so an abnormal exit is an infrastructure bug (e.g. a sanitizer
+  // abort inside a child) that must not hide behind a concurrent StepFn
+  // failure — same rule as exchange()'s abort path.
+  if (crashed)
+    throw ShardError(failKind != kOk
+                         ? "a shard worker exited abnormally (" + failErr + ")"
+                         : "a shard worker exited abnormally");
   if (failKind != kOk) rethrow(failKind, failErr);
-  if (crashed) throw ShardError("a shard worker exited abnormally");
   return outboxes;
 }
 

@@ -24,8 +24,12 @@
 //
 // Workers are forked per round, not kept resident: fork gives every phase a
 // copy-on-write snapshot of the full round state (outboxes, inboxes, the
-// step closure), which is what lets arbitrary StepFn closures run unchanged
-// in a worker process. A fork costs ~100us — noise next to a simulated
+// step closure), so a StepFn can *read* anything it captured without any
+// marshalling. The snapshot is one-way, though — mutations a StepFn makes
+// to captured state die with the worker, where the in-process path would
+// persist them — so under sharding a StepFn must be pure: per-machine state
+// flows only through the returned messages and the next round's inboxes
+// (see RoundEngine::step). A fork costs ~100us — noise next to a simulated
 // round — and a crashed or deadlocked worker can never poison the next
 // round.
 #pragma once

@@ -78,6 +78,13 @@ void WireWriter::sendFramed(WireFd& fd) const {
 WireReader WireReader::recvFramed(WireFd& fd) {
   std::uint64_t len = 0;
   fd.readAll(&len, sizeof(len));
+  // A legitimate frame serializes a subset of round state that already fits
+  // in the parent's memory; a length beyond this cap can only be a garbled
+  // prefix. Rejecting it keeps the failure a ShardError instead of a
+  // zero-filled overcommit allocation the OOM killer ends.
+  constexpr std::uint64_t kMaxFrameBytes = 1ull << 34;  // 16 GiB
+  if (len > kMaxFrameBytes)
+    throw ShardError("shard wire frame: implausible length (corrupt prefix)");
   WireReader r;
   r.buf_.resize(len);
   if (len > 0) fd.readAll(r.buf_.data(), len);
@@ -85,7 +92,9 @@ WireReader WireReader::recvFramed(WireFd& fd) {
 }
 
 void WireReader::need(std::size_t n) const {
-  if (pos_ + n > buf_.size()) throw ShardError("shard wire frame: truncated");
+  // pos_ <= buf_.size() always holds, so the subtraction cannot wrap;
+  // `pos_ + n` could, for a corrupted wire-supplied length.
+  if (n > buf_.size() - pos_) throw ShardError("shard wire frame: truncated");
 }
 
 std::uint8_t WireReader::u8() {
@@ -110,7 +119,12 @@ std::string WireReader::str() {
 }
 
 void WireReader::words(Word* out, std::size_t n) {
-  need(n * sizeof(Word));
+  // n == 0 exits early: `out` may be a null data() of an empty vector, and
+  // memcpy's nonnull contract holds even for zero-length copies.
+  if (n == 0) return;
+  // Reject before multiplying: n comes off the wire, n * sizeof(Word) wraps.
+  if (n > remaining() / sizeof(Word))
+    throw ShardError("shard wire frame: truncated");
   std::memcpy(out, buf_.data() + pos_, n * sizeof(Word));
   pos_ += n * sizeof(Word);
 }

@@ -94,6 +94,9 @@ class WireReader {
   /// Reads n words into out (which must have room for n).
   void words(Word* out, std::size_t n);
   bool atEnd() const { return pos_ == buf_.size(); }
+  /// Unread bytes left in the frame — lets callers sanity-check a
+  /// wire-supplied element count before sizing containers by it.
+  std::size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   void need(std::size_t n) const;

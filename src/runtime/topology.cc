@@ -1,5 +1,6 @@
 #include "runtime/topology.hpp"
 
+#include <stdexcept>
 #include <string>
 
 namespace mpcspan::runtime {
@@ -15,6 +16,10 @@ std::size_t MpcTopology::validateSlice(
   std::size_t sliceWords = 0;
   for (std::size_t src = 0; src < outboxes.size(); ++src) {
     for (const Message& msg : outboxes[src]) {
+      // The full-round scan sees sources outside [begin, end) whose
+      // destinations no caller has vetted yet — check before indexing.
+      if (msg.dst >= numMachines)
+        throw std::invalid_argument("RoundEngine: message to unknown machine");
       sent[src] += msg.payload.size();
       received[msg.dst] += msg.payload.size();
       if (src >= begin && src < end) sliceWords += msg.payload.size();

@@ -48,6 +48,10 @@ class Topology {
   /// Shardable validation: checks every constraint *attributable to machines
   /// in [begin, end)* — their sends and their receives — against the full
   /// round's outboxes, and returns the words sent by sources in the range.
+  /// Callers guarantee bounds-checked destinations only for sources in
+  /// [begin, end); an implementation that scans sources outside the range
+  /// (MpcTopology does, for receive budgets) must check msg.dst itself and
+  /// throw std::invalid_argument, never index out of bounds.
   /// The union over a partition of [0, numMachines) validates the whole
   /// round, and the per-slice word counts sum to validate()'s return; this
   /// is what lets ShardedEngine's workers validate locally in phase one of

@@ -184,6 +184,26 @@ TEST(ShardedEngine, UnknownDestinationThrowsInvalidArgument) {
   EXPECT_THROW(eng.exchange(std::move(out)), std::invalid_argument);
 }
 
+TEST(ShardedEngine, UnknownDestinationFromAnotherShardsSource) {
+  // The rogue source belongs to the LAST shard, so every other worker's
+  // validateSlice sees the bad destination among sources it does not own.
+  // Pins the fixed heap overflow: each worker must bounds-check all
+  // sources (and MpcTopology must not index received[] unchecked) rather
+  // than only vetting its own range. The engine must also survive the
+  // aborted round.
+  RoundEngine eng(EngineConfig{8, 1, 4}, std::make_unique<MpcTopology>(8));
+  ASSERT_EQ(eng.numShards(), 4u);
+  std::vector<std::vector<Message>> out(8);
+  out[7].push_back({1u << 20, {1}});
+  EXPECT_THROW(eng.exchange(std::move(out)), std::invalid_argument);
+  std::vector<std::vector<Message>> ok(8);
+  ok[7].push_back({0, {5}});
+  const auto inbox = eng.exchange(std::move(ok));
+  ASSERT_EQ(inbox[0].size(), 1u);
+  EXPECT_EQ(inbox[0][0].payload[0], 5u);
+  EXPECT_EQ(eng.rounds(), 1u);
+}
+
 TEST(ShardedEngine, StepFnExceptionPropagates) {
   RoundEngine eng(EngineConfig{6, 1, 3}, std::make_unique<MpcTopology>(8));
   EXPECT_THROW(eng.step([](std::size_t m, const std::vector<Delivery>&)
