@@ -80,7 +80,7 @@ void BM_DistSort(benchmark::State& state) {
     MpcSimulator sim(MpcConfig::forInput(n, 0.6, 3.0));
     DistVector<std::uint64_t> dv(sim, data);
     distSort(dv, std::less<>());
-    benchmark::DoNotOptimize(dv.shards());
+    benchmark::DoNotOptimize(dv.collectHostSide());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
@@ -111,6 +111,37 @@ void BM_EngineStep(benchmark::State& state) {
                           static_cast<std::int64_t>(machines * spin));
 }
 BENCHMARK(BM_EngineStep)->Args({64, 20000})->Args({256, 5000});
+
+/// Per-round dispatch latency of the sharded backends: the same tiny
+/// exchange round (4 machines per shard, one single-word message each)
+/// driven through resident workers vs the legacy fork-per-round snapshot
+/// dispatch at a fixed shard count. This is the probe behind the
+/// resident-workers acceptance criterion: the round trip over the control
+/// frames must beat fork + snapshot + reap per round. arg0 = shards,
+/// arg1 = 1 for resident, 0 for fork-per-round.
+void BM_ShardRoundDispatch(benchmark::State& state) {
+  using namespace mpcspan::runtime;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const bool resident = state.range(1) != 0;
+  const std::size_t machines = 4 * shards;
+  EngineConfig cfg{machines, 1, shards};
+  cfg.resident = resident ? 1 : 0;
+  RoundEngine eng(cfg, std::make_unique<MpcTopology>(64));
+  for (auto _ : state) {
+    std::vector<std::vector<Message>> out(machines);
+    for (std::size_t m = 0; m < machines; ++m)
+      out[m].push_back({(m + 1) % machines, {m}});
+    benchmark::DoNotOptimize(eng.exchange(std::move(out)));
+  }
+  state.SetLabel(resident ? "resident" : "fork-per-round");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardRoundDispatch)
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_VerifyPairStretch(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

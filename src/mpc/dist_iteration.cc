@@ -6,6 +6,37 @@
 
 namespace mpcspan {
 
+namespace {
+
+// Stateless comparator objects: distSort/segmentedMinSorted run as
+// registered kernels, so the orderings cross into the shard workers by type
+// and are default-constructed there (see mpc/primitives.hpp).
+struct CandByKey {
+  bool operator()(const CandTuple& a, const CandTuple& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return betterCand(a, b);
+  }
+};
+struct CandKey {
+  std::uint64_t operator()(const CandTuple& c) const { return c.key; }
+};
+struct CandVertex {  // v only
+  std::uint64_t operator()(const CandTuple& c) const { return c.key >> 32; }
+};
+struct CandByVertex {
+  bool operator()(const CandTuple& a, const CandTuple& b) const {
+    if (CandVertex{}(a) != CandVertex{}(b)) return CandVertex{}(a) < CandVertex{}(b);
+    return betterCand(a, b);
+  }
+};
+struct CandBetter {
+  bool operator()(const CandTuple& a, const CandTuple& b) const {
+    return betterCand(a, b);
+  }
+};
+
+}  // namespace
+
 DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
                                         const std::vector<VertexId>& superOf,
                                         const std::vector<VertexId>& clusterOf,
@@ -19,12 +50,9 @@ DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
                                                  alive, &sim.engine().pool());
   {
     DistVector<CandTuple> dv(sim, cands);
-    distSort(dv, [](const CandTuple& a, const CandTuple& b) {
-      if (a.key != b.key) return a.key < b.key;
-      return betterCand(a, b);
-    });
-    const std::vector<CandTuple> reduced = segmentedMinSorted(
-        dv, [](const CandTuple& c) { return c.key; }, betterCand);
+    distSort(dv, CandByKey{});
+    const std::vector<CandTuple> reduced =
+        segmentedMinSorted(dv, CandKey{}, CandBetter{});
     out.groupMins.reserve(reduced.size());
     for (const CandTuple& c : reduced)
       out.groupMins.push_back(GroupMinEdge{static_cast<VertexId>(c.key >> 32),
@@ -42,12 +70,9 @@ DistIterationResult distIterationKernel(MpcSimulator& sim, const Graph& g,
                              static_cast<std::uint32_t>(gm.id)});
   {
     DistVector<CandTuple> dv(sim, sampledMins);
-    auto keyOf = [](const CandTuple& c) { return c.key >> 32; };  // v only
-    distSort(dv, [&](const CandTuple& a, const CandTuple& b) {
-      if (keyOf(a) != keyOf(b)) return keyOf(a) < keyOf(b);
-      return betterCand(a, b);
-    });
-    const std::vector<CandTuple> reduced = segmentedMinSorted(dv, keyOf, betterCand);
+    distSort(dv, CandByVertex{});
+    const std::vector<CandTuple> reduced =
+        segmentedMinSorted(dv, CandVertex{}, CandBetter{});
     out.joins.reserve(reduced.size());
     for (const CandTuple& c : reduced)
       out.joins.push_back(ClosestSampled{static_cast<VertexId>(c.key >> 32),

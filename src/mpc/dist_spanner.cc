@@ -19,6 +19,28 @@ std::uint64_t pairKey(VertexId v, VertexId cluster) {
   return (static_cast<std::uint64_t>(v) << 32) | cluster;
 }
 
+/// Super-edge tuple of the contraction dedup, with its stateless orderings
+/// (they cross into the shard workers by type — see mpc/primitives.hpp).
+struct PairTuple {
+  std::uint64_t key;
+  double w;
+  std::uint32_t id;
+};
+struct PairBetter {
+  bool operator()(const PairTuple& a, const PairTuple& b) const {
+    return a.w < b.w || (a.w == b.w && a.id < b.id);
+  }
+};
+struct PairByKey {
+  bool operator()(const PairTuple& a, const PairTuple& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return PairBetter{}(a, b);
+  }
+};
+struct PairKey {
+  std::uint64_t operator()(const PairTuple& t) const { return t.key; }
+};
+
 /// Shared driver state for the distributed spanner constructions.
 struct DistState {
   std::vector<VertexId> superOf;    // original vertex -> super-node
@@ -114,11 +136,6 @@ void runDistContraction(MpcSimulator& sim, const Graph& g, DistState& st) {
     st.superOf[v] = c == kNoVertex ? kNoVertex : newId[c];
   }
 
-  struct PairTuple {
-    std::uint64_t key;
-    double w;
-    std::uint32_t id;
-  };
   std::vector<PairTuple> tuples;
   for (EdgeId id = 0; id < g.numEdges(); ++id) {
     if (!st.alive[id]) continue;
@@ -128,16 +145,10 @@ void runDistContraction(MpcSimulator& sim, const Graph& g, DistState& st) {
     if (a > b) std::swap(a, b);
     tuples.push_back({(static_cast<std::uint64_t>(a) << 32) | b, e.w, id});
   }
-  auto better = [](const PairTuple& a, const PairTuple& b) {
-    return a.w < b.w || (a.w == b.w && a.id < b.id);
-  };
   DistVector<PairTuple> dv(sim, tuples);
-  distSort(dv, [&](const PairTuple& a, const PairTuple& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return better(a, b);
-  });
+  distSort(dv, PairByKey{});
   const std::vector<PairTuple> winners =
-      segmentedMinSorted(dv, [](const PairTuple& t) { return t.key; }, better);
+      segmentedMinSorted(dv, PairKey{}, PairBetter{});
 
   std::fill(st.alive.begin(), st.alive.end(), 0);
   for (const PairTuple& t : winners) st.alive[t.id] = 1;

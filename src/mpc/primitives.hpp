@@ -8,100 +8,134 @@
 //   prefixCounts    — exclusive prefix sums of per-machine counts
 //                     (coordinator scan; 2 rounds).
 //   segmentedMinSorted — per-key minimum over key-sorted data: local reduce,
-//                     then a coordinator boundary fix-up for keys that span
+//                     then a machine-0 boundary fix-up for keys that span
 //                     machine boundaries. This is the "Find Minimum"
 //                     subroutine the spanner algorithms charge per
 //                     iteration (Lemma 6.1).
 //
-// All primitives move real words through MpcSimulator::communicate, so round
-// counts and capacity violations are genuine, not estimated. Items must be
-// trivially copyable.
+// All primitives move real words through engine rounds, so round counts and
+// capacity violations are genuine, not estimated. Items must be trivially
+// copyable.
 //
-// Local (free) phases — per-shard sorting, packing, reducing — run on the
-// simulator's round-engine thread pool: each machine's shard is an
-// independent loop index, so the result is bit-identical for every thread
-// count while the hot simulation loops scale with cores.
+// distSort and segmentedMinSorted execute as *registered kernels*
+// (sort_kernels.hpp): the DistVector blocks they operate on live beside the
+// machines — inside the resident shard workers when the engine is sharded —
+// and every phase (local sort, sampling, splitter fan-out, the all-to-all
+// route, boundary fix-ups) builds and validates its outboxes shard-side;
+// the host only drives the phase schedule. The comparators therefore cross
+// the process boundary *by type*: they must be stateless (capture-free)
+// function objects, default-constructed inside each worker. In exchange,
+// per-machine state persists worker-side across all phases and rounds, and
+// the results are bit-identical to the in-process engine for every thread
+// and shard count.
 #pragma once
 
 #include <algorithm>
-#include <cstring>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "mpc/pack.hpp"
 #include "mpc/simulator.hpp"
+#include "mpc/sort_kernels.hpp"
 
 namespace mpcspan {
 
-template <typename T>
-constexpr std::size_t wordsPerItem() {
-  static_assert(std::is_trivially_copyable_v<T>);
-  return (sizeof(T) + sizeof(Word) - 1) / sizeof(Word);
+namespace detail {
+
+/// Finds or registers kernel K on the engine. odr-using the global
+/// registrar plants K's factory in every process at static initialization,
+/// so a resident worker that forked long before this call can still
+/// construct K by name.
+template <class K>
+runtime::KernelId ensureKernel(runtime::RoundEngine& eng) {
+  (void)&runtime::globalKernelRegistrar<K>;
+  const std::string name = K::kernelName();
+  if (const runtime::KernelId id = eng.findKernel(name); id.valid()) return id;
+  return eng.registerKernel(name);
 }
 
-template <typename T>
-std::vector<Word> packItems(const T* items, std::size_t count) {
-  std::vector<Word> words(count * wordsPerItem<T>(), 0);
-  for (std::size_t i = 0; i < count; ++i)
-    std::memcpy(words.data() + i * wordsPerItem<T>(), items + i, sizeof(T));
-  return words;
-}
+}  // namespace detail
 
-template <typename T>
-std::vector<T> unpackItems(const std::vector<Word>& words) {
-  const std::size_t count = words.size() / wordsPerItem<T>();
-  std::vector<T> items(count);
-  for (std::size_t i = 0; i < count; ++i)
-    std::memcpy(&items[i], words.data() + i * wordsPerItem<T>(), sizeof(T));
-  return items;
-}
-
-/// A vector of T sharded in blocks across the simulator's machines.
+/// A vector of T sharded in blocks across the simulator's machines. The
+/// blocks are owned by the engine's BlockStore — host-side under a 1-shard
+/// engine, inside the resident worker processes when sharded — and are
+/// addressed by handle(); collectHostSide()/blocksHostSide() fetch copies
+/// back for tests and host-side readout (free — never part of a simulated
+/// algorithm).
 template <typename T>
 class DistVector {
  public:
   DistVector(MpcSimulator& sim, const std::vector<T>& data)
-      : sim_(&sim), shards_(sim.numMachines()) {
-    const std::size_t capItems =
-        std::max<std::size_t>(1, sim.wordsPerMachine() / (2 * wordsPerItem<T>()));
-    // Block boundaries first (cheap, serial), then a parallel fill.
-    std::vector<std::pair<std::size_t, std::size_t>> spans(shards_.size(), {0, 0});
+      : sim_(&sim), machines_(sim.numMachines()), size_(data.size()) {
+    const std::size_t capItems = std::max<std::size_t>(
+        1, sim.wordsPerMachine() / (2 * wordsPerItem<T>()));
+    // Block boundaries first (cheap, serial), then a parallel pack.
+    std::vector<std::pair<std::size_t, std::size_t>> spans(machines_, {0, 0});
     std::size_t cursor = 0;
-    for (std::size_t m = 0; m < shards_.size() && cursor < data.size(); ++m) {
+    for (std::size_t m = 0; m < machines_ && cursor < data.size(); ++m) {
       const std::size_t take = std::min(capItems, data.size() - cursor);
       spans[m] = {cursor, take};
       cursor += take;
     }
     if (cursor < data.size())
       throw CapacityError("DistVector: data does not fit in the cluster");
-    sim.engine().parallelFor(shards_.size(), [&](std::size_t m) {
+    std::vector<std::vector<Word>> blocks(machines_);
+    sim.engine().parallelFor(machines_, [&](std::size_t m) {
       const auto [begin, take] = spans[m];
-      shards_[m].assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
-                        data.begin() + static_cast<std::ptrdiff_t>(begin + take));
+      blocks[m] = packItems(data.data() + begin, take);
     });
+    handle_ = sim.engine().createBlocks(std::move(blocks));
+  }
+
+  ~DistVector() {
+    if (!sim_) return;
+    try {
+      sim_->engine().freeBlocks(handle_);
+    } catch (...) {
+      // A dead shard backend already surfaced loudly on the round that
+      // killed it; freeing afterwards must not terminate.
+    }
+  }
+
+  DistVector(const DistVector&) = delete;
+  DistVector& operator=(const DistVector&) = delete;
+  DistVector(DistVector&& o) noexcept
+      : sim_(o.sim_), machines_(o.machines_), size_(o.size_),
+        handle_(o.handle_) {
+    o.sim_ = nullptr;
   }
 
   MpcSimulator& sim() const { return *sim_; }
-  std::size_t numShards() const { return shards_.size(); }
-  std::vector<std::vector<T>>& shards() { return shards_; }
-  const std::vector<std::vector<T>>& shards() const { return shards_; }
+  std::size_t numShards() const { return machines_; }
+  std::size_t size() const { return size_; }
+  /// BlockStore handle of the per-machine blocks (kernel args).
+  std::uint64_t handle() const { return handle_; }
 
-  std::size_t size() const {
-    std::size_t total = 0;
-    for (const auto& s : shards_) total += s.size();
-    return total;
+  /// Per-machine blocks, copied host-side (free; tests/diagnostics).
+  std::vector<std::vector<T>> blocksHostSide() const {
+    const std::vector<std::vector<Word>> raw =
+        sim_->engine().readBlocks(handle_);
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t m = 0; m < raw.size(); ++m) out[m] = unpackItems<T>(raw[m]);
+    return out;
   }
 
-  /// Test/diagnostic helper: concatenates all shards host-side. Charges no
+  /// Test/diagnostic helper: concatenates all blocks host-side. Charges no
   /// rounds — never part of a simulated algorithm.
   std::vector<T> collectHostSide() const {
     std::vector<T> out;
-    out.reserve(size());
-    for (const auto& s : shards_) out.insert(out.end(), s.begin(), s.end());
+    out.reserve(size_);
+    for (const std::vector<T>& block : blocksHostSide())
+      out.insert(out.end(), block.begin(), block.end());
     return out;
   }
 
  private:
   MpcSimulator* sim_;
-  std::vector<std::vector<T>> shards_;
+  std::size_t machines_;
+  std::size_t size_;
+  std::uint64_t handle_ = 0;
 };
 
 /// Broadcasts `payload` from machine 0 to every machine along a B-ary tree
@@ -113,16 +147,21 @@ std::size_t treeBroadcastWords(MpcSimulator& sim, const std::vector<Word>& paylo
 std::vector<std::size_t> prefixCounts(MpcSimulator& sim,
                                       const std::vector<std::size_t>& counts);
 
-/// Distributed sample sort. cmp must be a strict weak order.
+/// Distributed sample sort. cmp must be a strict weak order and a stateless
+/// (capture-free) function object — it is default-constructed inside each
+/// shard worker.
 template <typename T, typename Cmp>
 void distSort(DistVector<T>& dv, Cmp cmp) {
+  static_assert(std::is_empty_v<Cmp>,
+                "distSort: the comparator crosses into resident worker "
+                "processes by type — use a stateless (capture-free) function "
+                "object");
+  (void)cmp;
   MpcSimulator& sim = dv.sim();
   runtime::RoundEngine& eng = sim.engine();
-  const std::size_t p = dv.numShards();
-  auto& shards = dv.shards();
-  eng.parallelFor(p, [&](std::size_t m) {  // local, free
-    std::sort(shards[m].begin(), shards[m].end(), cmp);
-  });
+  const std::size_t p = eng.numMachines();
+  const runtime::KernelId k = detail::ensureKernel<SortKernel<T, Cmp>>(eng);
+  eng.stepLocal(k, {kSortPhaseSortLocal, dv.handle()});  // local, free
   if (p <= 1 || dv.size() <= 1) return;
   // One-level sample sort: every machine must hold the p-1 splitters.
   // MpcConfig::forInput guarantees this; hand-built configs must too.
@@ -131,195 +170,71 @@ void distSort(DistVector<T>& dv, Cmp cmp) {
         "distSort: splitter set exceeds machine memory (need wordsPerMachine >= "
         "numMachines * item words; see MpcConfig::forInput)");
 
-  // Round 1: evenly spaced local samples to the coordinator.
+  // Round 1: evenly spaced local samples to machine 0.
   const std::size_t perMachineSamples = std::max<std::size_t>(
       1, std::min<std::size_t>(
              32, sim.wordsPerMachine() / (wordsPerItem<T>() * p)));
-  std::vector<std::vector<MpcSimulator::Message>> out(p);
-  eng.parallelFor(p, [&](std::size_t m) {
-    const auto& s = shards[m];
-    if (s.empty()) return;
-    std::vector<T> samples;
-    const std::size_t take = std::min(perMachineSamples, s.size());
-    // Uniform random positions, seeded per machine: deterministic per-shard
-    // quantile positions would pool into only `take` distinct quantile
-    // levels across machines — far too coarse when numMachines > take —
-    // and including shard extremes biases the splitters.
-    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (m * 0xbf58476d1ce4e5b9ULL);
-    for (std::size_t i = 0; i < take; ++i) {
-      h = h * 6364136223846793005ULL + 1442695040888963407ULL;
-      samples.push_back(s[(h >> 33) % s.size()]);
-    }
-    std::sort(samples.begin(), samples.end(), cmp);
-    out[m].push_back({0, packItems(samples.data(), samples.size())});
-  });
-  auto inbox = sim.communicate(std::move(out));
-  std::vector<T> samples = unpackItems<T>(inbox[0]);
-  std::sort(samples.begin(), samples.end(), cmp);
+  eng.step(k, {kSortPhaseSample, dv.handle(), perMachineSamples});
 
-  // Coordinator picks p-1 splitters, broadcasts them down the tree.
-  std::vector<T> splitters;
-  for (std::size_t i = 1; i < p; ++i) {
-    if (samples.empty()) break;
-    splitters.push_back(samples[std::min(samples.size() - 1, i * samples.size() / p)]);
+  // Machine 0 picks the p-1 splitters and fans them down a B-ary tree, the
+  // exact schedule of treeBroadcastWords: branch B from the capacity, the
+  // holder prefix (1+B)x-ing every round. The driver replays the holder
+  // arithmetic only to know how many fan rounds to issue.
+  const std::size_t perCopy = (p - 1) * wordsPerItem<T>();
+  const std::size_t branch =
+      std::max<std::size_t>(1, sim.wordsPerMachine() / perCopy);
+  eng.step(k, {kSortPhasePickAndFan, dv.handle(), branch});
+  std::size_t holders = std::min(p, 1 + branch);
+  while (holders < p) {
+    eng.step(k, {kSortPhaseFanForward, dv.handle(), holders, branch});
+    holders = std::min(p, holders + holders * branch);
   }
-  treeBroadcastWords(sim, packItems(splitters.data(), splitters.size()));
 
-  // One all-to-all: shard j receives keys in (splitter[j-1], splitter[j]].
-  std::vector<std::vector<MpcSimulator::Message>> route(p);
-  eng.parallelFor(p, [&](std::size_t m) {
-    const auto& s = shards[m];
-    std::size_t begin = 0;
-    for (std::size_t j = 0; j <= splitters.size(); ++j) {
-      std::size_t end;
-      if (j == splitters.size()) {
-        end = s.size();
-      } else {
-        end = static_cast<std::size_t>(
-            std::upper_bound(s.begin() + static_cast<std::ptrdiff_t>(begin), s.end(),
-                             splitters[j], cmp) -
-            s.begin());
-      }
-      if (end > begin)
-        route[m].push_back({j, packItems(s.data() + begin, end - begin)});
-      begin = end;
-    }
-  });
-  inbox = sim.communicate(std::move(route));
-  eng.parallelFor(p, [&](std::size_t m) {
-    shards[m] = unpackItems<T>(inbox[m]);
-    std::sort(shards[m].begin(), shards[m].end(), cmp);  // local merge
-  });
+  // One all-to-all: machine j receives keys in (splitter[j-1], splitter[j]],
+  // then merges locally (free).
+  eng.step(k, {kSortPhaseRoute, dv.handle()});
+  eng.stepLocal(k, {kSortPhaseMergeRoute, dv.handle()});
 }
 
 /// Per-key minimum over data already key-sorted across machines (machine
 /// order = key order, e.g. right after distSort by key). keyOf maps an item
-/// to a 64-bit key; better(a, b) returns true when a beats b. Returns the
-/// reduced key-sorted sequence (one item per key), collected host-side;
-/// the simulated traffic is the cross-machine boundary fix-up.
+/// to a 64-bit key; better(a, b) returns true when a beats b; both must be
+/// stateless (capture-free) function objects. Returns the reduced
+/// key-sorted sequence (one item per key), collected host-side; the
+/// simulated traffic is the cross-machine boundary fix-up.
 template <typename T, typename KeyOf, typename Better>
 std::vector<T> segmentedMinSorted(DistVector<T>& dv, KeyOf keyOf, Better better) {
+  static_assert(std::is_empty_v<KeyOf> && std::is_empty_v<Better>,
+                "segmentedMinSorted: keyOf/better cross into resident worker "
+                "processes by type — use stateless (capture-free) function "
+                "objects");
+  (void)keyOf;
+  (void)better;
   MpcSimulator& sim = dv.sim();
   runtime::RoundEngine& eng = sim.engine();
-  const std::size_t p = dv.numShards();
-  auto& shards = dv.shards();
-
-  // Local reduce (free): one representative per key per machine.
-  std::vector<std::vector<T>> reduced(p);
-  eng.parallelFor(p, [&](std::size_t m) {
-    for (const T& item : shards[m]) {
-      if (!reduced[m].empty() && keyOf(reduced[m].back()) == keyOf(item)) {
-        if (better(item, reduced[m].back())) reduced[m].back() = item;
-      } else {
-        reduced[m].push_back(item);
-      }
-    }
-  });
+  const std::size_t p = eng.numMachines();
+  const runtime::KernelId k =
+      detail::ensureKernel<SegMinKernel<T, KeyOf, Better>>(eng);
+  eng.stepLocal(k, {kSegPhaseReduce, dv.handle()});  // local, free
 
   if (p > 1) {
-    // Round 1: first/last representative of every non-empty machine to the
-    // coordinator.
+    // Round 1: first/last representative of every non-empty machine to
+    // machine 0; round 2: machine 0 resolves the key runs spanning machine
+    // boundaries and sends the fix-ups back; applying them is free.
     const std::size_t rec = 2 * wordsPerItem<T>() + 1;
     if (p * rec > sim.wordsPerMachine())
       throw CapacityError("segmentedMinSorted: boundary set exceeds capacity");
-    std::vector<std::vector<MpcSimulator::Message>> out(p);
-    for (std::size_t m = 0; m < p; ++m) {
-      if (reduced[m].empty()) continue;
-      std::vector<T> pair{reduced[m].front(), reduced[m].back()};
-      std::vector<Word> payload = packItems(pair.data(), pair.size());
-      payload.push_back(m);
-      out[m].push_back({0, std::move(payload)});
-    }
-    auto inbox = sim.communicate(std::move(out));
-
-    struct Boundary {
-      std::size_t machine;
-      T first, last;
-    };
-    std::vector<Boundary> bounds;
-    const std::vector<Word>& raw = inbox[0];
-    for (std::size_t off = 0; off + rec <= raw.size(); off += rec) {
-      Boundary b;
-      std::memcpy(&b.first, raw.data() + off, sizeof(T));
-      std::memcpy(&b.last, raw.data() + off + wordsPerItem<T>(), sizeof(T));
-      b.machine = static_cast<std::size_t>(raw[off + rec - 1]);
-      bounds.push_back(b);
-    }
-    std::sort(bounds.begin(), bounds.end(),
-              [](const Boundary& a, const Boundary& b) { return a.machine < b.machine; });
-
-    // Resolve key runs that span machine boundaries. Because the data is
-    // key-sorted and the local reduce left one copy per key per machine, a
-    // run over machines m0..mEnd consists of last[m0], first[m0+1], ...,
-    // first[mEnd] (fully-covered middle machines have first == last).
-    struct FixEntry {
-      std::uint64_t key;
-      T winner;
-      bool keepHere;
-    };
-    std::vector<std::vector<FixEntry>> fixes(p);
-    std::size_t i = 0;
-    while (i + 1 < bounds.size()) {
-      const std::uint64_t key = keyOf(bounds[i].last);
-      if (keyOf(bounds[i + 1].first) != key) {
-        ++i;
-        continue;
-      }
-      T winner = bounds[i].last;
-      std::vector<std::size_t> members{i};
-      std::size_t j = i + 1;
-      while (j < bounds.size() && keyOf(bounds[j].first) == key) {
-        members.push_back(j);
-        if (better(bounds[j].first, winner)) winner = bounds[j].first;
-        if (keyOf(bounds[j].last) != key) break;  // run ends inside machine j
-        ++j;
-      }
-      for (std::size_t t : members)
-        fixes[bounds[t].machine].push_back({key, winner, t == i});
-      i = members.back() == i ? i + 1 : members.back();
-    }
-
-    // Round 2: coordinator sends fix-ups back.
-    std::vector<std::vector<MpcSimulator::Message>> back(p);
-    for (std::size_t m = 0; m < p; ++m) {
-      if (fixes[m].empty()) continue;
-      std::vector<Word> payload;
-      for (const FixEntry& f : fixes[m]) {
-        payload.push_back(f.key);
-        payload.push_back(f.keepHere ? 1 : 0);
-        const std::vector<Word> w = packItems(&f.winner, 1);
-        payload.insert(payload.end(), w.begin(), w.end());
-      }
-      back[0].push_back({m, std::move(payload)});
-    }
-    auto inbox2 = sim.communicate(std::move(back));
-
-    // Apply fixes (local compute): the single local copy of the key is
-    // replaced by the winner on exactly one machine and dropped elsewhere.
-    eng.parallelFor(p, [&](std::size_t m) {
-      const std::vector<Word>& fw = inbox2[m];
-      const std::size_t frec = 2 + wordsPerItem<T>();
-      for (std::size_t off = 0; off + frec <= fw.size(); off += frec) {
-        const std::uint64_t key = fw[off];
-        const bool keep = fw[off + 1] != 0;
-        T winner;
-        std::memcpy(&winner, fw.data() + off + 2, sizeof(T));
-        auto& r = reduced[m];
-        for (std::size_t idx = 0; idx < r.size(); ++idx)
-          if (keyOf(r[idx]) == key) {
-            if (keep)
-              r[idx] = winner;
-            else
-              r.erase(r.begin() + static_cast<std::ptrdiff_t>(idx));
-            break;
-          }
-      }
-    });
+    eng.step(k, {kSegPhaseBoundary});
+    eng.step(k, {kSegPhaseFix});
+    eng.stepLocal(k, {kSegPhaseApply});
   }
 
   std::vector<T> result;
-  for (std::size_t m = 0; m < p; ++m)
-    result.insert(result.end(), reduced[m].begin(), reduced[m].end());
+  result.reserve(dv.size());
+  for (const std::vector<Word>& packed : eng.fetchKernel(k)) {
+    const std::vector<T> items = unpackItems<T>(packed);
+    result.insert(result.end(), items.begin(), items.end());
+  }
   return result;
 }
 

@@ -39,6 +39,10 @@ class MpcSimulator {
 
   std::size_t numMachines() const { return cfg_.numMachines; }
   std::size_t numShards() const { return engine_.numShards(); }
+  /// True when the rounds run on resident shard worker processes (the
+  /// default for shards > 1; MPCSPAN_RESIDENT=0 selects the legacy
+  /// fork-per-round dispatch).
+  bool residentShards() const { return engine_.residentShards(); }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
   std::size_t rounds() const { return engine_.rounds(); }

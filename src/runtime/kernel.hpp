@@ -1,0 +1,144 @@
+// Registered step kernels and worker-owned state — the resident half of the
+// round-engine runtime.
+//
+// The legacy RoundEngine::step(StepFn) closure cannot outlive a process
+// boundary: under the sharded backend it executes against a fork snapshot,
+// so its captured-state mutations die with the worker. A *registered* kernel
+// inverts that contract: the engine constructs one kernel instance per
+// worker process (or one in-process instance when shards == 1), and that
+// instance **owns** its per-machine state across rounds — per-machine
+// inboxes and blocks stay resident where they are used and are never
+// re-shipped through the coordinator. What the legacy path expressed as
+// "StepFn must be pure" becomes explicit ownership: anything a kernel wants
+// to persist lives in the kernel instance or the BlockStore, and anything
+// it wants to communicate moves through returned messages.
+//
+// Identity across processes: a kernel is named. A factory registered on the
+// engine *before its workers fork* crosses into them with the fork
+// snapshot; a kernel registered *after* the fork is resolved inside each
+// worker by name against the process-global registry (populated at static
+// initialization — see GlobalKernelRegistrar), which both sides of the fork
+// share by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace mpcspan::runtime {
+
+/// Handle for a kernel registered on one RoundEngine. Deliberately a struct
+/// (not a bare index) so RoundEngine::step(KernelId, args) can never be
+/// confused with the legacy closure overload.
+struct KernelId {
+  static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+  std::size_t index = kInvalid;
+  bool valid() const { return index != kInvalid; }
+};
+
+/// Machine-indexed word-block storage owned by the executing side: the
+/// worker process for the machines it hosts, the engine itself when running
+/// in-process. Handles are allocated by the coordinator
+/// (RoundEngine::createBlocks) and are dense vectors over all machines —
+/// a worker simply leaves the blocks outside its range empty.
+///
+/// Thread-safety: create/erase only between parallel phases (the engine's
+/// frame handling is single-threaded); block() for *distinct* machines is
+/// safe from concurrent kernel steps because lookups never rehash.
+class BlockStore {
+ public:
+  explicit BlockStore(std::size_t numMachines) : numMachines_(numMachines) {}
+
+  std::size_t numMachines() const { return numMachines_; }
+
+  void create(std::uint64_t handle);
+  bool has(std::uint64_t handle) const { return slots_.count(handle) != 0; }
+  void erase(std::uint64_t handle) { slots_.erase(handle); }
+  void clear() { slots_.clear(); }
+
+  std::vector<Word>& block(std::uint64_t handle, std::size_t machine);
+  const std::vector<Word>& block(std::uint64_t handle, std::size_t machine) const;
+
+  /// Live handles in ascending order (snapshot adoption at worker fork).
+  std::vector<std::uint64_t> handles() const;
+
+ private:
+  std::size_t numMachines_;
+  std::unordered_map<std::uint64_t, std::vector<std::vector<Word>>> slots_;
+};
+
+/// Everything a kernel sees when stepping one machine. `inbox` is the
+/// machine's resident inbox — the deliveries of the last committed kernel
+/// round — and `args` is the round's broadcast argument vector (identical
+/// on every machine; the coordinator-side driver's only per-round input).
+struct KernelCtx {
+  std::size_t machine;
+  std::size_t numMachines;
+  const std::vector<Delivery>& inbox;
+  const std::vector<Word>& args;
+  BlockStore& store;
+};
+
+/// A registered step kernel. One instance per executing side; per-machine
+/// state is keyed by ctx.machine inside the instance (a sharded instance
+/// only ever sees the machines of its worker's range). All three entry
+/// points run in parallel over machines on the local pool, so they must
+/// write only to per-machine disjoint state.
+class StepKernel {
+ public:
+  virtual ~StepKernel() = default;
+
+  /// One communication round: consume ctx.inbox, return this machine's
+  /// outbox. Throwing aborts the round for every shard (the resident inbox
+  /// and the ledger stay untouched; instance state mutated before the throw
+  /// persists, exactly as in-process captured state would).
+  virtual std::vector<Message> step(const KernelCtx& ctx) = 0;
+
+  /// A free local phase: no round, no messages (RoundEngine::stepLocal).
+  virtual void local(const KernelCtx& ctx) { (void)ctx; }
+
+  /// Serializes per-machine results for a coordinator-side collect
+  /// (RoundEngine::fetchKernel). Free — diagnostics and host-side readout.
+  virtual std::vector<Word> fetch(const KernelCtx& ctx) {
+    (void)ctx;
+    return {};
+  }
+};
+
+using KernelFactory = std::function<std::unique_ptr<StepKernel>()>;
+
+/// One engine-local registration: the factory is empty when the kernel is
+/// resolved by name against the global registry instead (the only option
+/// once resident workers have forked).
+struct KernelRegistration {
+  std::string name;
+  KernelFactory factory;
+};
+
+/// Process-global kernel registry. Registration is idempotent per name (the
+/// first factory wins; returns false on a duplicate). Thread-safe.
+bool registerGlobalKernel(std::string name, KernelFactory factory);
+const KernelFactory* findGlobalKernel(const std::string& name);
+
+/// Static-initialization registrar: odr-using globalKernelRegistrar<K>
+/// plants K in the global registry of every process before main — i.e.
+/// before any worker can fork — so resident workers resolve K::kernelName()
+/// no matter when the engine first hears about it. K needs a static
+/// kernelName() and a default constructor.
+template <class K>
+struct GlobalKernelRegistrar {
+  GlobalKernelRegistrar() {
+    registerGlobalKernel(K::kernelName(),
+                         [] { return std::unique_ptr<StepKernel>(new K()); });
+  }
+};
+template <class K>
+inline GlobalKernelRegistrar<K> globalKernelRegistrar{};
+
+}  // namespace mpcspan::runtime

@@ -5,12 +5,24 @@
 // (what a legal round looks like in the chosen model), a work-stealing
 // thread pool that steps machines in parallel *within* a round, and the
 // round/traffic ledger. With EngineConfig::shards > 1 (or MPCSPAN_SHARDS)
-// the machines are partitioned over forked worker processes instead — see
-// runtime/shard/sharded_engine.hpp — behind this same interface. Message
+// the machines are partitioned over worker processes instead — resident
+// ones that fork once per engine and are driven by control frames (see
+// runtime/shard/sharded_engine.hpp) — behind this same interface. Message
 // delivery is deterministic: every inbox holds its deliveries in (source
 // id, send position) order regardless of the thread or shard count, so
 // 1-thread, N-thread, 1-shard, and N-shard runs of the same workload are
 // bit-identical — rounds, traffic totals, and message contents.
+//
+// Two ways to step the machines:
+//   - the legacy closure step(StepFn): convenient, but a closure cannot
+//     follow machines into another process, so under sharding its compute
+//     wave still runs against a per-round fork snapshot and must keep its
+//     per-machine state in messages/inboxes (see step below);
+//   - registered kernels (runtime/kernel.hpp): registerKernel gives the
+//     engine a named factory, step(KernelId, args) drives one round, and
+//     the kernel instance lives *where the machines live* — inside each
+//     resident worker — owning per-machine state (inboxes, BlockStore
+//     blocks) across rounds without ever re-shipping it.
 //
 // MpcSimulator and CongestedClique are thin model-specific facades over
 // this class; see src/runtime/README.md for the design.
@@ -18,7 +30,9 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "runtime/kernel.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/types.hpp"
@@ -39,6 +53,11 @@ struct EngineConfig {
   /// (MPCSPAN_SHARDS env var, else 1). Clamped to numMachines. Sharded or
   /// not, the same workload is bit-identical — rounds, ledger, contents.
   std::size_t shards = 0;
+  /// Shard worker lifetime: 1 = resident workers (fork once per engine,
+  /// control frames per round — the default), 0 = legacy fork-per-round
+  /// snapshot dispatch (kept as the bench_micro baseline; no kernel/block
+  /// support), -1 = the MPCSPAN_RESIDENT env var (default resident).
+  int resident = -1;
 };
 
 class RoundEngine {
@@ -49,6 +68,12 @@ class RoundEngine {
   std::size_t numMachines() const { return numMachines_; }
   /// Worker processes executing the rounds (1 = in-process).
   std::size_t numShards() const;
+  /// True when rounds run on resident shard workers (shards > 1 and the
+  /// resident backend selected).
+  bool residentShards() const;
+  /// The multi-process backend, null when in-process (introspection: worker
+  /// pids, shard ranges).
+  const shard::ShardedEngine* shardBackend() const { return shard_.get(); }
   const Topology& topology() const { return *topology_; }
   ThreadPool& pool() { return pool_; }
 
@@ -74,19 +99,66 @@ class RoundEngine {
   /// then exchanges the produced outboxes. The deliveries are stored and
   /// readable via inbox() until the next step.
   ///
-  /// Sharded caveat: under shards > 1 the step closure executes in forked
-  /// worker processes against a copy-on-write snapshot, so it may *read*
-  /// any captured state but every mutation it makes to captured state is
-  /// discarded with the worker — only the returned messages survive. A
-  /// StepFn that must behave identically in-process and sharded therefore
+  /// Sharded caveat: the closure executes its compute wave in per-round
+  /// forked processes against a copy-on-write snapshot (the resident
+  /// workers forked before the closure existed, so they cannot run it). It
+  /// may *read* any captured state, but every mutation it makes to captured
+  /// state is discarded with the wave — only the returned messages survive.
+  /// A StepFn that must behave identically in-process and sharded therefore
   /// keeps per-machine state in the messages/inboxes it returns, never in
-  /// captured variables.
+  /// captured variables. Kernels (below) replace that purity caveat with an
+  /// explicit owned-state contract.
   using StepFn = std::function<std::vector<Message>(
       std::size_t machine, const std::vector<Delivery>& inbox)>;
   void step(const StepFn& fn);
   const std::vector<Delivery>& inbox(std::size_t machine) const {
     return inboxes_[machine];
   }
+
+  // --- Registered kernels: the resident step path. ---
+
+  /// Registers a kernel under `name`. With a factory, the registration is
+  /// engine-local: it crosses into the resident workers with their one fork
+  /// snapshot, so it must happen before the engine's first sharded
+  /// operation (afterwards the name must also be globally registered —
+  /// GlobalKernelRegistrar — or this throws). With no factory the name is
+  /// resolved against the global registry on both sides of the fork, any
+  /// time. Names are unique per engine.
+  KernelId registerKernel(std::string name, KernelFactory factory = {});
+  /// The id `name` was registered under, or an invalid id.
+  KernelId findKernel(const std::string& name) const;
+
+  /// One kernel round: the kernel steps every machine where that machine
+  /// lives (in-process, or inside its resident worker), the outboxes are
+  /// validated/delivered under the topology exactly like exchange(), and
+  /// the deliveries land in the machines' resident inboxes (worker-owned
+  /// when sharded — they are not shipped back; use snapshotInboxes() or
+  /// fetchKernel() to observe state). `args` is broadcast to every machine.
+  /// A kernel throw aborts the round for all shards: ledger and inboxes
+  /// untouched, engine and workers still usable.
+  void step(KernelId kernel, std::vector<Word> args = {});
+  /// A free local phase: kernel.local on every machine, no round, no
+  /// messages, no ledger (the "local computation is free" half of the MPC
+  /// model).
+  void stepLocal(KernelId kernel, std::vector<Word> args = {});
+  /// Per-machine kernel.fetch readout (free; host-side collection).
+  std::vector<std::vector<Word>> fetchKernel(KernelId kernel,
+                                             std::vector<Word> args = {});
+
+  // --- Worker-owned block storage (DistVector backing). ---
+
+  /// Ships perMachine[m] to machine m's owner and returns the handle.
+  /// Blocks live beside the kernels: in-process in the engine's own store,
+  /// sharded inside the resident workers (created before the workers start,
+  /// they simply cross with the fork snapshot).
+  std::uint64_t createBlocks(std::vector<std::vector<Word>> perMachine);
+  std::vector<std::vector<Word>> readBlocks(std::uint64_t handle);
+  void freeBlocks(std::uint64_t handle);
+
+  /// Every machine's resident inbox, fetched from wherever it lives. The
+  /// inbox(machine) accessor only tracks closure-step rounds; after kernel
+  /// rounds on a sharded engine this is the authoritative view.
+  std::vector<std::vector<Delivery>> snapshotInboxes();
 
   /// Deterministic parallel loop on the engine's pool. fn must write to
   /// disjoint outputs; then the result is identical for every thread count.
@@ -95,11 +167,25 @@ class RoundEngine {
   }
 
  private:
+  StepKernel& ensureKernelInstance(KernelId kernel);
+  std::vector<std::vector<Delivery>> exchangeImpl(
+      std::vector<std::vector<Message>> outboxes, bool updateResident);
+  /// Refreshes inboxes_ from the workers if kernel rounds left the
+  /// authoritative copy worker-side.
+  void syncInboxes();
+
   std::size_t numMachines_;
   std::unique_ptr<Topology> topology_;
   ThreadPool pool_;
   Accounting ledger_;
   std::vector<std::vector<Delivery>> inboxes_;
+  /// True while the worker-resident inboxes are ahead of inboxes_ (kernel
+  /// rounds ran on the sharded backend).
+  bool inboxesResident_ = false;
+  std::vector<KernelRegistration> kernels_;
+  std::vector<std::unique_ptr<StepKernel>> kernelInstances_;  // in-process
+  BlockStore store_;  // in-process blocks; pre-start staging when sharded
+  std::uint64_t nextBlockHandle_ = 1;
   /// Multi-process backend; null when shards resolve to 1 (in-process).
   std::unique_ptr<shard::ShardedEngine> shard_;
 };

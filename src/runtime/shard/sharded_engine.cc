@@ -3,6 +3,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
@@ -15,39 +16,59 @@ namespace mpcspan::runtime::shard {
 
 namespace {
 
-// Error kinds carried in a worker's phase-1 / result headers. The exception
-// type cannot cross the process boundary, so it travels as a tag and is
-// re-thrown coordinator-side.
+// Error kinds carried in a worker's report headers. The exception type
+// cannot cross the process boundary, so it travels as a tag and is re-thrown
+// coordinator-side.
 constexpr std::uint8_t kOk = 0;
-constexpr std::uint8_t kCapacityError = 1;
-constexpr std::uint8_t kBoundsError = 2;
-constexpr std::uint8_t kOtherError = 3;
+constexpr std::uint8_t kCapacityKind = 1;
+constexpr std::uint8_t kBoundsKind = 2;
+constexpr std::uint8_t kOtherKind = 3;
+constexpr std::uint8_t kRangeKind = 4;
 
-struct Worker {
+// Control-frame opcodes of the resident worker protocol (first byte of
+// every coordinator -> worker frame).
+constexpr std::uint8_t kOpExchange = 1;
+constexpr std::uint8_t kOpStep = 2;
+constexpr std::uint8_t kOpLocal = 3;
+constexpr std::uint8_t kOpFetchKernel = 4;
+constexpr std::uint8_t kOpRegisterKernel = 5;
+constexpr std::uint8_t kOpStoreBlocks = 6;
+constexpr std::uint8_t kOpFetchBlocks = 7;
+constexpr std::uint8_t kOpFreeBlocks = 8;
+constexpr std::uint8_t kOpFetchInboxes = 9;
+constexpr std::uint8_t kOpShutdown = 10;
+
+// Barrier verdicts (1-byte frame bodies). Only kGo commits; any other value
+// (including a stray opcode) reads as abort, so a desynced stream can never
+// be mistaken for a commit.
+constexpr std::uint8_t kAbort = 0;
+constexpr std::uint8_t kGo = 1;
+
+struct Proc {
   pid_t pid = -1;
   WireFd fd;  // coordinator end of the socketpair
 };
 
-/// Forks one worker per shard; `body(s, fd)` runs in the child, which then
+/// Forks one process per index; `body(i, fd)` runs in the child, which then
 /// exits without unwinding (no destructors, no atexit — the child shares
 /// the parent's stdio buffers and thread-owning objects by fork).
-std::vector<Worker> forkWorkers(
-    std::size_t shards, const std::function<void(std::size_t, WireFd&)>& body) {
-  std::vector<WireFd> parentEnds(shards);
-  std::vector<WireFd> childEnds(shards);
-  for (std::size_t s = 0; s < shards; ++s)
+std::vector<Proc> forkProcs(
+    std::size_t count, const std::function<void(std::size_t, WireFd&)>& body) {
+  std::vector<WireFd> parentEnds(count);
+  std::vector<WireFd> childEnds(count);
+  for (std::size_t s = 0; s < count; ++s)
     makeSocketPair(parentEnds[s], childEnds[s]);
 
-  std::vector<Worker> workers(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
+  std::vector<Proc> procs(count);
+  for (std::size_t s = 0; s < count; ++s) {
     const pid_t pid = ::fork();
     if (pid < 0) {
-      // Abort the round: close our ends (children see EOF and exit) and
-      // reap what was already forked.
+      // Abort: close our ends (children see EOF and exit) and reap what was
+      // already forked.
       for (std::size_t j = 0; j < s; ++j) {
-        workers[j].fd.reset();
+        procs[j].fd.reset();
         int st = 0;
-        while (::waitpid(workers[j].pid, &st, 0) < 0 && errno == EINTR) {
+        while (::waitpid(procs[j].pid, &st, 0) < 0 && errno == EINTR) {
         }
       }
       throw ShardError("ShardedEngine: fork failed");
@@ -56,53 +77,56 @@ std::vector<Worker> forkWorkers(
       // Worker: keep only this shard's child end. All pairs were created
       // before the first fork, so every sibling end is inherited and must
       // be dropped for EOF detection to work.
-      for (std::size_t j = 0; j < shards; ++j) {
+      for (std::size_t j = 0; j < count; ++j) {
         parentEnds[j].reset();
         if (j != s) childEnds[j].reset();
       }
       try {
         body(s, childEnds[s]);
       } catch (...) {
-        // Broken socket mid-protocol (coordinator died). Nothing to do.
+        // Wire failure mid-protocol or an unhandled internal error. Exit
+        // abnormally; the coordinator reads it as a crash.
         std::_Exit(3);
       }
       std::_Exit(0);
     }
-    workers[s].pid = pid;
-    workers[s].fd = std::move(parentEnds[s]);
+    procs[s].pid = pid;
+    procs[s].fd = std::move(parentEnds[s]);
   }
   // Coordinator: drop the child ends so a worker's death is visible as EOF.
-  for (std::size_t s = 0; s < shards; ++s) childEnds[s].reset();
-  return workers;
+  for (std::size_t s = 0; s < count; ++s) childEnds[s].reset();
+  return procs;
 }
 
-/// Reaps every worker. Closing the coordinator ends first unblocks any
-/// worker still waiting on the barrier byte (it reads EOF and exits).
+/// Reaps every worker of a {pid, fd} collection (the per-round fork waves
+/// and the resident workers share this). Closing the coordinator ends first
+/// unblocks any worker still waiting on a frame (it reads EOF and exits).
 /// Crash detection relies on waitpid seeing each child's exit status, so
 /// the host process must not disown its children (SIGCHLD set to SIG_IGN
 /// or SA_NOCLDWAIT): auto-reaped workers read as crashes (ECHILD), which
 /// is loud rather than wrong, but makes every sharded round throw.
-void reapWorkers(std::vector<Worker>& workers, bool& anyCrashed) {
-  for (Worker& w : workers) w.fd.reset();
-  for (Worker& w : workers) {
-    if (w.pid < 0) continue;
+template <class W>
+void reapAll(std::vector<W>& procs, bool& anyCrashed) {
+  for (W& p : procs) p.fd.reset();
+  for (W& p : procs) {
+    if (p.pid < 0) continue;
     int st = 0;
     pid_t r;
     do {
-      r = ::waitpid(w.pid, &st, 0);
+      r = ::waitpid(p.pid, &st, 0);
     } while (r < 0 && errno == EINTR);
     // A wait failure (ECHILD etc.) means the exit status is unknowable —
     // treat it as a crash rather than reading st == 0 as a clean exit.
     if (r < 0 || !WIFEXITED(st) || WEXITSTATUS(st) != 0) anyCrashed = true;
-    w.pid = -1;
+    p.pid = -1;
   }
 }
 
-/// Parses one shard's per-machine section of a phase-2 frame into rows[m]
-/// for m in [lo, hi): a u64 count, then (u64 id, u64 len, len words) per
-/// row. Row is Message (id = dst) or Delivery (id = src). Wire-supplied
-/// sizes are vetted against the frame's remaining bytes before sizing any
-/// container, so a corrupt frame throws ShardError, never bad_alloc.
+/// Parses one shard's per-machine section of a frame into rows[m] for m in
+/// [lo, hi): a u64 count, then (u64 id, u64 len, len words) per row. Row is
+/// Message (id = dst) or Delivery (id = src). Wire-supplied sizes are vetted
+/// against the frame's remaining bytes before sizing any container, so a
+/// corrupt frame throws ShardError, never bad_alloc.
 template <class Row>
 void parseRows(WireReader& r, std::size_t lo, std::size_t hi,
                std::vector<std::vector<Row>>& rows) {
@@ -126,26 +150,119 @@ void parseRows(WireReader& r, std::size_t lo, std::size_t hi,
   }
 }
 
+/// Serializes one machine's section in the parseRows format.
+void writeRows(WireWriter& w, const std::vector<Message>& outbox) {
+  w.u64(outbox.size());
+  for (const Message& m : outbox) {
+    w.u64(m.dst);
+    w.u64(m.payload.size());
+    w.words(m.payload.data(), m.payload.size());
+  }
+}
+
 [[noreturn]] void rethrow(std::uint8_t kind, const std::string& msg) {
   switch (kind) {
-    case kCapacityError:
+    case kCapacityKind:
       throw CapacityError(msg);
-    case kBoundsError:
+    case kBoundsKind:
       throw std::invalid_argument(msg);
+    case kRangeKind:
+      throw std::out_of_range(msg);
     default:
       throw std::runtime_error(msg);
   }
+}
+
+/// Classifies an in-flight exception for the wire (the inverse of rethrow).
+std::uint8_t classify(std::string& err) {
+  try {
+    throw;
+  } catch (const CapacityError& e) {
+    err = e.what();
+    return kCapacityKind;
+  } catch (const std::invalid_argument& e) {
+    err = e.what();
+    return kBoundsKind;
+  } catch (const std::out_of_range& e) {
+    err = e.what();
+    return kRangeKind;
+  } catch (const std::exception& e) {
+    err = e.what();
+    return kOtherKind;
+  }
+}
+
+void writeReport(WireFd& fd, std::uint8_t kind, const std::string& err,
+                 std::uint64_t words = 0) {
+  WireWriter w;
+  w.u8(kind);
+  if (kind == kOk)
+    w.u64(words);
+  else
+    w.str(err);
+  w.sendFramed(fd);
+}
+
+void writeArgs(WireWriter& w, const std::vector<Word>& args) {
+  w.u64(args.size());
+  w.words(args.data(), args.size());
+}
+
+std::vector<Word> readArgs(WireReader& r) {
+  const std::uint64_t argc = r.u64();
+  if (argc > r.remaining() / sizeof(Word))
+    throw ShardError("shard wire frame: corrupt arg count");
+  std::vector<Word> args(argc);
+  r.words(args.data(), argc);
+  return args;
+}
+
+/// Reference to one message of a projected round view, in global delivery
+/// order (source id, send position).
+struct Ref {
+  std::uint32_t src;
+  std::uint32_t pos;
+};
+
+/// Index pass over a projected view: per local destination d in [lo, hi),
+/// the refs of its deliveries in (src, pos) order — which *is* the
+/// in-process delivery order, because projection preserves each source's
+/// send-position order and the scan walks sources ascending. Under
+/// priority-write only the first ref per destination is kept.
+std::vector<std::vector<Ref>> indexByDst(
+    const std::vector<std::vector<Message>>& projected, std::size_t lo,
+    std::size_t hi, bool priorityWrite) {
+  std::vector<std::vector<Ref>> byDst(hi - lo);
+  for (std::size_t src = 0; src < projected.size(); ++src) {
+    const auto& outbox = projected[src];
+    for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
+      const std::size_t d = outbox[pos].dst;
+      if (d < lo || d >= hi) continue;
+      auto& refs = byDst[d - lo];
+      if (priorityWrite && !refs.empty()) continue;
+      refs.push_back(
+          {static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(pos)});
+    }
+  }
+  return byDst;
 }
 
 }  // namespace
 
 ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
                              std::size_t threadsPerShard,
-                             const Topology* topology)
+                             const Topology* topology, bool resident,
+                             const std::vector<KernelRegistration>* kernels,
+                             BlockStore* blocks,
+                             const std::vector<std::vector<Delivery>>* inboxes)
     : numMachines_(numMachines),
       shards_(shards),
       threadsPerShard_(threadsPerShard == 0 ? 1 : threadsPerShard),
-      topology_(topology) {
+      topology_(topology),
+      resident_(resident),
+      kernels_(kernels),
+      blocks_(blocks),
+      inboxes_(inboxes) {
   if (numMachines_ == 0)
     throw std::invalid_argument("ShardedEngine: numMachines must be positive");
   if (shards_ < 2 || shards_ > numMachines_)
@@ -154,11 +271,22 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
   if (!topology_) throw std::invalid_argument("ShardedEngine: null topology");
 }
 
+ShardedEngine::~ShardedEngine() { shutdownWorkers(); }
+
 std::size_t ShardedEngine::shardBegin(std::size_t s) const {
   // Same balanced contiguous split as ThreadPool's lane slices.
   const std::size_t base = numMachines_ / shards_;
   const std::size_t extra = numMachines_ % shards_;
   return s * base + std::min(s, extra);
+}
+
+std::size_t ShardedEngine::shardOf(std::size_t machine) const {
+  // Inverse of shardBegin: the first `extra` shards own base + 1 machines.
+  const std::size_t base = numMachines_ / shards_;
+  const std::size_t extra = numMachines_ % shards_;
+  const std::size_t split = extra * (base + 1);
+  return machine < split ? machine / (base + 1)
+                         : extra + (machine - split) / base;
 }
 
 std::size_t ShardedEngine::defaultShards() {
@@ -169,14 +297,864 @@ std::size_t ShardedEngine::defaultShards() {
   return 1;
 }
 
+bool ShardedEngine::defaultResident() {
+  if (const char* env = std::getenv("MPCSPAN_RESIDENT"))
+    return std::strtol(env, nullptr, 10) != 0;
+  return true;
+}
+
+std::vector<pid_t> ShardedEngine::workerPids() const {
+  std::vector<pid_t> pids;
+  pids.reserve(workers_.size());
+  for (const Worker& w : workers_) pids.push_back(w.pid);
+  return pids;
+}
+
+void ShardedEngine::requireResident(const char* op) const {
+  if (!resident_)
+    throw std::logic_error(
+        std::string(op) +
+        " requires the resident shard backend (MPCSPAN_RESIDENT=1 / "
+        "EngineConfig::resident)");
+}
+
+void ShardedEngine::start() {
+  if (failed_)
+    throw ShardError(
+        "ShardedEngine: shard backend is down (a worker died earlier)");
+  if (started()) return;
+  std::vector<Proc> procs = forkProcs(
+      shards_, [this](std::size_t s, WireFd& fd) { workerMain(s, fd); });
+  workers_.resize(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    workers_[s].pid = procs[s].pid;
+    workers_[s].fd = std::move(procs[s].fd);
+  }
+  // The snapshot just adopted every block; drop the coordinator copies so a
+  // later fetch can never read a stale one.
+  if (blocks_) blocks_->clear();
+}
+
+void ShardedEngine::shutdownWorkers() noexcept {
+  if (workers_.empty()) return;
+  // Best-effort polite SHUTDOWN (only meaningful when the workers sit at the
+  // command loop; a failed backend skips straight to the close below — a
+  // mid-round worker must never parse SHUTDOWN as a barrier verdict).
+  if (!failed_) {
+    for (Worker& w : workers_) {
+      if (!w.fd.valid()) continue;
+      try {
+        WireWriter bye;
+        bye.u8(kOpShutdown);
+        bye.sendFramed(w.fd);
+      } catch (...) {
+      }
+    }
+  }
+  // Closing the fds unblocks any worker still reading (EOF -> clean exit);
+  // crash status is deliberately ignored here — either the failure already
+  // surfaced as ShardError, or this is a destructor.
+  bool crashed = false;
+  reapAll(workers_, crashed);
+  workers_.clear();
+}
+
+void ShardedEngine::fail(const std::string& what) {
+  failed_ = true;
+  shutdownWorkers();
+  throw ShardError(what);
+}
+
+template <typename Fn>
+auto ShardedEngine::guarded(Fn&& io) -> decltype(io()) {
+  try {
+    return io();
+  } catch (const ShardError& e) {
+    fail(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resident worker (child process).
+// ---------------------------------------------------------------------------
+
+void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
+  const std::size_t n = numMachines_;
+  const std::size_t lo = shardBegin(s), hi = shardEnd(s);
+  const std::size_t local = hi - lo;
+  const bool priorityWrite =
+      topology_->mode() == Topology::Mode::kPriorityWrite;
+
+  // Worker-owned state, alive across rounds. The kernel table, block store,
+  // and closure-step inboxes registered before the fork arrive with the
+  // snapshot; everything later comes over the wire.
+  ThreadPool pool(threadsPerShard_);
+  std::vector<KernelRegistration> kernels =
+      kernels_ ? *kernels_ : std::vector<KernelRegistration>{};
+  std::vector<std::unique_ptr<StepKernel>> instances(kernels.size());
+  BlockStore store(n);
+  if (blocks_) {
+    for (const std::uint64_t h : blocks_->handles()) {
+      store.create(h);
+      for (std::size_t m = lo; m < hi; ++m)
+        store.block(h, m) = blocks_->block(h, m);
+    }
+  }
+  std::vector<std::vector<Delivery>> inboxes(local);
+  if (inboxes_ && inboxes_->size() == n)
+    for (std::size_t i = 0; i < local; ++i) inboxes[i] = (*inboxes_)[lo + i];
+
+  auto ensureInstance = [&](std::uint64_t id) -> StepKernel& {
+    if (id >= kernels.size())
+      throw std::runtime_error("ShardedEngine: unknown kernel id in worker");
+    if (!instances[id]) {
+      const KernelRegistration& reg = kernels[id];
+      KernelFactory factory = reg.factory;
+      if (!factory) {
+        const KernelFactory* global = findGlobalKernel(reg.name);
+        if (!global)
+          throw std::runtime_error(
+              "kernel '" + reg.name +
+              "' is not resolvable in the worker process: register it before "
+              "the engine's first round, or globally (GlobalKernelRegistrar) "
+              "so the fork inherits it");
+        factory = *global;
+      }
+      instances[id] = factory();
+      if (!instances[id])
+        throw std::runtime_error("kernel '" + reg.name +
+                                 "': factory returned null");
+    }
+    return *instances[id];
+  };
+
+  // Installs the committed deliveries of a projected round view into the
+  // resident inboxes, in (src, pos) order.
+  auto installDeliveries =
+      [&](const std::vector<std::vector<Ref>>& byDst,
+          std::vector<std::vector<Message>>& projected) {
+        std::vector<std::vector<Delivery>> next(local);
+        pool.parallelFor(local, [&](std::size_t i) {
+          const auto& refs = byDst[i];
+          next[i].reserve(refs.size());
+          for (const Ref& ref : refs)
+            next[i].push_back(
+                {ref.src, std::move(projected[ref.src][ref.pos].payload)});
+        });
+        inboxes = std::move(next);
+      };
+
+  try {
+    for (;;) {
+      WireReader cmd = WireReader::recvFramed(fd);  // EOF -> ShardError below
+      const std::uint8_t op = cmd.u8();
+      switch (op) {
+        case kOpShutdown:
+          return;
+
+        case kOpRegisterKernel: {
+          const std::uint64_t id = cmd.u64();
+          const std::string name = cmd.str();
+          std::uint8_t kind = kOk;
+          std::string err;
+          try {
+            if (id != kernels.size())
+              throw std::runtime_error(
+                  "ShardedEngine: kernel id out of order in worker");
+            // Append-only, even on failure: another worker may have
+            // resolved this id, so removing the slot would desync the id
+            // tables. A failed slot is inert — the coordinator tombstones
+            // the name, so no step can ever reference it.
+            kernels.push_back({name, KernelFactory{}});
+            instances.emplace_back();
+            ensureInstance(id);  // construct eagerly: fail at registration
+          } catch (...) {
+            kind = classify(err);
+          }
+          writeReport(fd, kind, err);
+          break;
+        }
+
+        case kOpStep: {
+          const std::uint64_t kid = cmd.u64();
+          const std::vector<Word> args = readArgs(cmd);
+
+          // Phase A: run the kernel over this shard's machines, keep the
+          // messages, ship the cross-shard ones to the coordinator grouped
+          // by destination shard.
+          std::uint8_t kind = kOk;
+          std::string err;
+          std::vector<std::vector<Message>> own(local);
+          try {
+            StepKernel& ker = ensureInstance(kid);
+            pool.parallelFor(local, [&](std::size_t i) {
+              own[i] = ker.step(
+                  KernelCtx{lo + i, n, inboxes[i], args, store});
+            });
+            for (const auto& outbox : own)
+              for (const Message& msg : outbox)
+                if (msg.dst >= n)
+                  throw std::invalid_argument(
+                      "RoundEngine: message to unknown machine");
+          } catch (...) {
+            kind = classify(err);
+          }
+          {
+            WireWriter a;
+            a.u8(kind);
+            if (kind != kOk) {
+              a.str(err);
+            } else {
+              // Per peer shard t (ascending, skipping self): row count, raw
+              // byte length, rows (src, dst, len, words). The byte length
+              // lets the coordinator re-scatter without walking rows.
+              for (std::size_t t = 0; t < shards_; ++t) {
+                if (t == s) continue;
+                const std::size_t tlo = shardBegin(t), thi = shardEnd(t);
+                WireWriter rows;
+                std::uint64_t count = 0;
+                for (std::size_t i = 0; i < local; ++i)
+                  for (const Message& msg : own[i]) {
+                    if (msg.dst < tlo || msg.dst >= thi) continue;
+                    rows.u64(lo + i);
+                    rows.u64(msg.dst);
+                    rows.u64(msg.payload.size());
+                    rows.words(msg.payload.data(), msg.payload.size());
+                    ++count;
+                  }
+                a.u64(count);
+                a.u64(rows.size());
+                a.append(rows);
+              }
+            }
+            a.sendFramed(fd);
+          }
+
+          // Barrier: wait for the coordinator's verdict even after a local
+          // error (lockstep).
+          WireReader b = WireReader::recvFramed(fd);
+          if (kind != kOk || b.u8() != kGo) break;  // round aborted
+
+          // Phase B: assemble the projected round view — own sources
+          // complete, inbound rows for everyone else — validate this
+          // machine range, report, and await the commit verdict.
+          std::vector<std::vector<Message>> projected(n);
+          for (std::size_t i = 0; i < local; ++i)
+            projected[lo + i] = std::move(own[i]);
+          std::uint64_t words = 0;
+          try {
+            for (std::size_t t = 0; t < shards_; ++t) {
+              if (t == s) continue;
+              const std::size_t tlo = shardBegin(t), thi = shardEnd(t);
+              const std::uint64_t count = b.u64();
+              (void)b.u64();  // byte length (coordinator-side convenience)
+              if (count > b.remaining() / (3 * sizeof(std::uint64_t)))
+                throw ShardError("shard wire frame: corrupt row count");
+              std::vector<Word> scratch;
+              for (std::uint64_t i = 0; i < count; ++i) {
+                const std::uint64_t src = b.u64();
+                const std::uint64_t dst = b.u64();
+                const std::uint64_t len = b.u64();
+                if (src < tlo || src >= thi || dst < lo || dst >= hi)
+                  throw ShardError("shard wire frame: row out of range");
+                if (len > b.remaining() / sizeof(Word))
+                  throw ShardError("shard wire frame: corrupt payload length");
+                scratch.resize(len);
+                b.words(scratch.data(), len);
+                projected[src].push_back(
+                    {static_cast<std::size_t>(dst),
+                     Payload(scratch.data(), len)});
+              }
+            }
+            words = topology_->validateSlice(n, projected, lo, hi);
+          } catch (const ShardError&) {
+            throw;  // wire corruption: exit, the coordinator sees EOF
+          } catch (...) {
+            kind = classify(err);
+          }
+          writeReport(fd, kind, err, words);
+
+          WireReader c = WireReader::recvFramed(fd);
+          if (kind != kOk || c.u8() != kGo) break;  // round aborted
+
+          // Commit: install the deliveries into the resident inboxes.
+          installDeliveries(indexByDst(projected, lo, hi, priorityWrite),
+                            projected);
+          break;
+        }
+
+        case kOpExchange: {
+          const bool updateResident = cmd.u8() != 0;
+          // The whole projected view arrives in one frame: own sources'
+          // outboxes (destinations already bounds-checked by the
+          // coordinator) plus inbound cross-shard rows.
+          std::vector<std::vector<Message>> projected(n);
+          std::uint8_t kind = kOk;
+          std::string err;
+          std::uint64_t words = 0;
+          try {
+            parseRows<Message>(cmd, lo, hi, projected);
+            const std::uint64_t count = cmd.u64();
+            if (count > cmd.remaining() / (3 * sizeof(std::uint64_t)))
+              throw ShardError("shard wire frame: corrupt row count");
+            std::vector<Word> scratch;
+            for (std::uint64_t i = 0; i < count; ++i) {
+              const std::uint64_t src = cmd.u64();
+              const std::uint64_t dst = cmd.u64();
+              const std::uint64_t len = cmd.u64();
+              if (src >= n || dst < lo || dst >= hi)
+                throw ShardError("shard wire frame: row out of range");
+              if (len > cmd.remaining() / sizeof(Word))
+                throw ShardError("shard wire frame: corrupt payload length");
+              scratch.resize(len);
+              cmd.words(scratch.data(), len);
+              projected[src].push_back(
+                  {static_cast<std::size_t>(dst), Payload(scratch.data(), len)});
+            }
+            words = topology_->validateSlice(n, projected, lo, hi);
+          } catch (const ShardError&) {
+            throw;
+          } catch (...) {
+            kind = classify(err);
+          }
+          writeReport(fd, kind, err, words);
+
+          WireReader b = WireReader::recvFramed(fd);
+          if (kind != kOk || b.u8() != kGo) break;  // round aborted
+
+          // Commit: materialize this destination range, ship it back, and
+          // (for step-driven rounds) keep it resident too.
+          const std::vector<std::vector<Ref>> byDst =
+              indexByDst(projected, lo, hi, priorityWrite);
+          std::vector<WireWriter> fragments(local);
+          pool.parallelFor(local, [&](std::size_t i) {
+            WireWriter& w = fragments[i];
+            w.u64(byDst[i].size());
+            for (const Ref& ref : byDst[i]) {
+              const Payload& p = projected[ref.src][ref.pos].payload;
+              w.u64(ref.src);
+              w.u64(p.size());
+              w.words(p.data(), p.size());
+            }
+          });
+          WireWriter body;
+          for (const WireWriter& f : fragments) body.append(f);
+          body.sendFramed(fd);
+          if (updateResident) installDeliveries(byDst, projected);
+          break;
+        }
+
+        case kOpLocal: {
+          const std::uint64_t kid = cmd.u64();
+          const std::vector<Word> args = readArgs(cmd);
+          std::uint8_t kind = kOk;
+          std::string err;
+          try {
+            StepKernel& ker = ensureInstance(kid);
+            pool.parallelFor(local, [&](std::size_t i) {
+              ker.local(KernelCtx{lo + i, n, inboxes[i], args, store});
+            });
+          } catch (...) {
+            kind = classify(err);
+          }
+          writeReport(fd, kind, err);
+          break;
+        }
+
+        case kOpFetchKernel: {
+          const std::uint64_t kid = cmd.u64();
+          const std::vector<Word> args = readArgs(cmd);
+          std::uint8_t kind = kOk;
+          std::string err;
+          std::vector<std::vector<Word>> out(local);
+          try {
+            StepKernel& ker = ensureInstance(kid);
+            pool.parallelFor(local, [&](std::size_t i) {
+              out[i] = ker.fetch(KernelCtx{lo + i, n, inboxes[i], args, store});
+            });
+          } catch (...) {
+            kind = classify(err);
+          }
+          WireWriter w;
+          w.u8(kind);
+          if (kind != kOk) {
+            w.str(err);
+          } else {
+            for (const std::vector<Word>& block : out) {
+              w.u64(block.size());
+              w.words(block.data(), block.size());
+            }
+          }
+          w.sendFramed(fd);
+          break;
+        }
+
+        case kOpStoreBlocks: {
+          const std::uint64_t handle = cmd.u64();
+          std::uint8_t kind = kOk;
+          std::string err;
+          try {
+            store.create(handle);
+            for (std::size_t m = lo; m < hi; ++m) {
+              const std::uint64_t len = cmd.u64();
+              if (len > cmd.remaining() / sizeof(Word))
+                throw ShardError("shard wire frame: corrupt block length");
+              std::vector<Word>& block = store.block(handle, m);
+              block.resize(len);
+              cmd.words(block.data(), len);
+            }
+          } catch (const ShardError&) {
+            throw;
+          } catch (...) {
+            kind = classify(err);
+          }
+          writeReport(fd, kind, err);
+          break;
+        }
+
+        case kOpFetchBlocks: {
+          const std::uint64_t handle = cmd.u64();
+          std::uint8_t kind = kOk;
+          std::string err;
+          WireWriter w;
+          try {
+            WireWriter rows;
+            for (std::size_t m = lo; m < hi; ++m) {
+              const std::vector<Word>& block = store.block(handle, m);
+              rows.u64(block.size());
+              rows.words(block.data(), block.size());
+            }
+            w.u8(kOk);
+            w.append(rows);
+          } catch (...) {
+            kind = classify(err);
+            w = WireWriter();
+            w.u8(kind);
+            w.str(err);
+          }
+          w.sendFramed(fd);
+          break;
+        }
+
+        case kOpFreeBlocks: {
+          const std::uint64_t handle = cmd.u64();
+          store.erase(handle);
+          writeReport(fd, kOk, std::string());
+          break;
+        }
+
+        case kOpFetchInboxes: {
+          WireWriter w;
+          for (const std::vector<Delivery>& inbox : inboxes) {
+            w.u64(inbox.size());
+            for (const Delivery& d : inbox) {
+              w.u64(d.src);
+              w.u64(d.payload.size());
+              w.words(d.payload.data(), d.payload.size());
+            }
+          }
+          w.sendFramed(fd);
+          break;
+        }
+
+        default:
+          throw std::runtime_error(
+              "ShardedEngine: unknown opcode in worker (protocol bug)");
+      }
+    }
+  } catch (const ShardError&) {
+    // Coordinator closed the wire (engine destroyed or died) — clean exit.
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One worker's {kind, words | error} report.
+struct Report {
+  std::uint8_t kind = kOk;
+  std::uint64_t words = 0;
+  std::string err;
+};
+
+Report readReport(WireFd& fd) {
+  WireReader r = WireReader::recvFramed(fd);
+  Report rep;
+  rep.kind = r.u8();
+  if (rep.kind == kOk)
+    rep.words = r.u64();
+  else
+    rep.err = r.str();
+  return rep;
+}
+
+}  // namespace
+
+void ShardedEngine::registerKernel(std::size_t id, const std::string& name) {
+  requireResident("registerKernel");
+  if (!started()) return;  // the fork snapshot will carry the table
+  guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpRegisterKernel);
+      f.u64(id);
+      f.str(name);
+      f.sendFramed(w.fd);
+    }
+    std::uint8_t kind = kOk;
+    std::string err;
+    for (Worker& w : workers_) {
+      const Report rep = readReport(w.fd);
+      if (rep.kind != kOk && kind == kOk) {
+        kind = rep.kind;
+        err = rep.err;
+      }
+    }
+    if (kind != kOk) rethrow(kind, err);
+  });
+}
+
+void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
+                               std::size_t& roundWords) {
+  requireResident("step(KernelId)");
+  start();
+  guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpStep);
+      f.u64(id);
+      writeArgs(f, args);
+      f.sendFramed(w.fd);
+    }
+
+    // Phase A barrier: collect every compute report. The ok ones carry the
+    // cross-shard sections (s -> t) as raw byte slices, which are appended
+    // straight into the per-target phase-B frames as they are parsed —
+    // replies arrive in ascending origin order, which is exactly the
+    // section order the workers expect, so no intermediate copy is needed.
+    std::vector<Report> reports(shards_);
+    std::vector<WireWriter> scatter(shards_);
+    for (WireWriter& f : scatter) f.u8(kGo);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = WireReader::recvFramed(workers_[s].fd);
+      reports[s].kind = r.u8();
+      if (reports[s].kind != kOk) {
+        reports[s].err = r.str();
+        continue;
+      }
+      for (std::size_t t = 0; t < shards_; ++t) {
+        if (t == s) continue;
+        const std::uint64_t count = r.u64();
+        const std::uint64_t byteLen = r.u64();
+        WireWriter& f = scatter[t];
+        f.u64(count);
+        f.u64(byteLen);
+        f.bytes(r.raw(byteLen), byteLen);
+      }
+    }
+    std::size_t firstErr = shards_;
+    for (std::size_t s = 0; s < shards_; ++s)
+      if (reports[s].kind != kOk) {
+        firstErr = s;
+        break;
+      }
+    if (firstErr != shards_) {
+      for (Worker& w : workers_) {
+        WireWriter f;
+        f.u8(kAbort);
+        f.sendFramed(w.fd);
+      }
+      rethrow(reports[firstErr].kind, reports[firstErr].err);
+    }
+
+    // Phase B: scatter each worker its inbound sections (origin order).
+    for (std::size_t t = 0; t < shards_; ++t) scatter[t].sendFramed(workers_[t].fd);
+
+    // Validation barrier, then commit.
+    for (std::size_t s = 0; s < shards_; ++s) reports[s] = readReport(workers_[s].fd);
+    for (std::size_t s = 0; s < shards_; ++s)
+      if (reports[s].kind != kOk) {
+        firstErr = s;
+        break;
+      }
+    const std::uint8_t verdict = firstErr == shards_ ? kGo : kAbort;
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(verdict);
+      f.sendFramed(w.fd);
+    }
+    if (verdict == kAbort) rethrow(reports[firstErr].kind, reports[firstErr].err);
+
+    roundWords = 0;
+    for (const Report& rep : reports) roundWords += rep.words;
+  });
+}
+
+void ShardedEngine::localKernel(std::size_t id, const std::vector<Word>& args) {
+  requireResident("stepLocal(KernelId)");
+  start();
+  guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpLocal);
+      f.u64(id);
+      writeArgs(f, args);
+      f.sendFramed(w.fd);
+    }
+    std::uint8_t kind = kOk;
+    std::string err;
+    for (Worker& w : workers_) {
+      const Report rep = readReport(w.fd);
+      if (rep.kind != kOk && kind == kOk) {
+        kind = rep.kind;
+        err = rep.err;
+      }
+    }
+    if (kind != kOk) rethrow(kind, err);
+  });
+}
+
+std::vector<std::vector<Word>> ShardedEngine::fetchKernel(
+    std::size_t id, const std::vector<Word>& args) {
+  requireResident("fetchKernel");
+  start();
+  return guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpFetchKernel);
+      f.u64(id);
+      writeArgs(f, args);
+      f.sendFramed(w.fd);
+    }
+    std::vector<std::vector<Word>> out(numMachines_);
+    std::uint8_t kind = kOk;
+    std::string err;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = WireReader::recvFramed(workers_[s].fd);
+      const std::uint8_t k = r.u8();
+      if (k != kOk) {
+        if (kind == kOk) {
+          kind = k;
+          err = r.str();
+        }
+        continue;
+      }
+      for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m) {
+        const std::uint64_t len = r.u64();
+        if (len > r.remaining() / sizeof(Word))
+          throw ShardError("shard wire frame: corrupt block length");
+        out[m].resize(len);
+        r.words(out[m].data(), len);
+      }
+    }
+    if (kind != kOk) rethrow(kind, err);
+    return out;
+  });
+}
+
+void ShardedEngine::storeBlocks(std::uint64_t handle,
+                                std::vector<std::vector<Word>> perMachine) {
+  requireResident("createBlocks");
+  start();
+  guarded([&] {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireWriter f;
+      f.u8(kOpStoreBlocks);
+      f.u64(handle);
+      for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m) {
+        f.u64(perMachine[m].size());
+        f.words(perMachine[m].data(), perMachine[m].size());
+      }
+      f.sendFramed(workers_[s].fd);
+    }
+    std::uint8_t kind = kOk;
+    std::string err;
+    for (Worker& w : workers_) {
+      const Report rep = readReport(w.fd);
+      if (rep.kind != kOk && kind == kOk) {
+        kind = rep.kind;
+        err = rep.err;
+      }
+    }
+    if (kind != kOk) rethrow(kind, err);
+  });
+}
+
+std::vector<std::vector<Word>> ShardedEngine::fetchBlocks(
+    std::uint64_t handle) {
+  requireResident("readBlocks");
+  start();
+  return guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpFetchBlocks);
+      f.u64(handle);
+      f.sendFramed(w.fd);
+    }
+    std::vector<std::vector<Word>> out(numMachines_);
+    std::uint8_t kind = kOk;
+    std::string err;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = WireReader::recvFramed(workers_[s].fd);
+      const std::uint8_t k = r.u8();
+      if (k != kOk) {
+        if (kind == kOk) {
+          kind = k;
+          err = r.str();
+        }
+        continue;
+      }
+      for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m) {
+        const std::uint64_t len = r.u64();
+        if (len > r.remaining() / sizeof(Word))
+          throw ShardError("shard wire frame: corrupt block length");
+        out[m].resize(len);
+        r.words(out[m].data(), len);
+      }
+    }
+    if (kind != kOk) rethrow(kind, err);
+    return out;
+  });
+}
+
+void ShardedEngine::freeBlocks(std::uint64_t handle) {
+  requireResident("freeBlocks");
+  start();
+  guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpFreeBlocks);
+      f.u64(handle);
+      f.sendFramed(w.fd);
+    }
+    for (Worker& w : workers_) (void)readReport(w.fd);
+  });
+}
+
+std::vector<std::vector<Delivery>> ShardedEngine::fetchInboxes() {
+  requireResident("fetchInboxes");
+  start();
+  return guarded([&] {
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(kOpFetchInboxes);
+      f.sendFramed(w.fd);
+    }
+    std::vector<std::vector<Delivery>> out(numMachines_);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = WireReader::recvFramed(workers_[s].fd);
+      parseRows<Delivery>(r, shardBegin(s), shardEnd(s), out);
+    }
+    return out;
+  });
+}
+
 std::vector<std::vector<Delivery>> ShardedEngine::exchange(
+    const std::vector<std::vector<Message>>& outboxes, std::size_t& roundWords,
+    bool updateResident) {
+  return resident_ ? exchangeResident(outboxes, roundWords, updateResident)
+                   : exchangeForked(outboxes, roundWords);
+}
+
+std::vector<std::vector<Delivery>> ShardedEngine::exchangeResident(
+    const std::vector<std::vector<Message>>& outboxes, std::size_t& roundWords,
+    bool updateResident) {
+  const std::size_t n = numMachines_;
+
+  // Bounds-check and bucket the cross-shard messages in one scan, before
+  // any frame moves — a rogue destination throws std::invalid_argument with
+  // the engine (and the workers) untouched, exactly like in-process.
+  struct CrossRef {
+    std::uint32_t src;
+    std::uint32_t pos;
+  };
+  std::vector<std::vector<CrossRef>> cross(shards_);
+  for (std::size_t src = 0; src < n; ++src) {
+    const std::size_t home = shardOf(src);
+    const auto& outbox = outboxes[src];
+    for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
+      if (outbox[pos].dst >= n)
+        throw std::invalid_argument("RoundEngine: message to unknown machine");
+      const std::size_t t = shardOf(outbox[pos].dst);
+      if (t != home)
+        cross[t].push_back({static_cast<std::uint32_t>(src),
+                            static_cast<std::uint32_t>(pos)});
+    }
+  }
+
+  start();
+  return guarded([&] {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireWriter f;
+      f.u8(kOpExchange);
+      f.u8(updateResident ? 1 : 0);
+      for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m)
+        writeRows(f, outboxes[m]);
+      f.u64(cross[s].size());
+      for (const CrossRef& ref : cross[s]) {
+        const Message& msg = outboxes[ref.src][ref.pos];
+        f.u64(ref.src);
+        f.u64(msg.dst);
+        f.u64(msg.payload.size());
+        f.words(msg.payload.data(), msg.payload.size());
+      }
+      f.sendFramed(workers_[s].fd);
+    }
+
+    // Validation barrier: every slice must pass before anyone commits; one
+    // failed shard aborts the round for all, and the workers stay alive.
+    std::vector<Report> reports(shards_);
+    for (std::size_t s = 0; s < shards_; ++s)
+      reports[s] = readReport(workers_[s].fd);
+    std::size_t firstErr = shards_;
+    for (std::size_t s = 0; s < shards_; ++s)
+      if (reports[s].kind != kOk) {
+        firstErr = s;
+        break;
+      }
+    const std::uint8_t verdict = firstErr == shards_ ? kGo : kAbort;
+    for (Worker& w : workers_) {
+      WireWriter f;
+      f.u8(verdict);
+      f.sendFramed(w.fd);
+    }
+    if (verdict == kAbort)
+      rethrow(reports[firstErr].kind, reports[firstErr].err);
+
+    // Commit: merge the delivery fragments in shard (= destination) order.
+    std::vector<std::vector<Delivery>> inbox(n);
+    for (std::size_t s = 0; s < shards_; ++s) {
+      WireReader r = WireReader::recvFramed(workers_[s].fd);
+      parseRows<Delivery>(r, shardBegin(s), shardEnd(s), inbox);
+    }
+    roundWords = 0;
+    for (const Report& rep : reports) roundWords += rep.words;
+    return inbox;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Legacy fork-per-round dispatch (resident == false) and the closure-step
+// compute wave. The wave is fork-per-round even on the resident backend:
+// RoundEngine::step's closure and its captures exist only in the
+// coordinator's address space — the resident workers forked before the
+// closure did — so a copy-on-write snapshot is the only way the closure can
+// read captured state without marshalling.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<Delivery>> ShardedEngine::exchangeForked(
     const std::vector<std::vector<Message>>& outboxes,
     std::size_t& roundWords) {
   const std::size_t n = numMachines_;
-  const bool priorityWrite = topology_->mode() == Topology::Mode::kPriorityWrite;
+  const bool priorityWrite =
+      topology_->mode() == Topology::Mode::kPriorityWrite;
 
-  std::vector<Worker> workers = forkWorkers(shards_, [&](std::size_t s,
-                                                         WireFd& fd) {
+  std::vector<Proc> procs = forkProcs(shards_, [&](std::size_t s,
+                                                   WireFd& fd) {
     const std::size_t lo = shardBegin(s), hi = shardEnd(s);
 
     // --- Phase 1: validate locally (bounds + this range's topology
@@ -195,25 +1173,10 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
             throw std::invalid_argument(
                 "RoundEngine: message to unknown machine");
       words = topology_->validateSlice(n, outboxes, lo, hi);
-    } catch (const CapacityError& e) {
-      kind = kCapacityError;
-      err = e.what();
-    } catch (const std::invalid_argument& e) {
-      kind = kBoundsError;
-      err = e.what();
-    } catch (const std::exception& e) {
-      kind = kOtherError;
-      err = e.what();
+    } catch (...) {
+      kind = classify(err);
     }
-    {
-      WireWriter report;
-      report.u8(kind);
-      if (kind == kOk)
-        report.u64(words);
-      else
-        report.str(err);
-      report.sendFramed(fd);
-    }
+    writeReport(fd, kind, err, words);
     if (kind != kOk) return;  // the coordinator aborts the round
 
     // --- Barrier: the round commits only once every shard validated. A 0
@@ -227,33 +1190,16 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     // pass scans sources in ascending (src, position) order, which *is* the
     // delivery order — the merge is deterministic by construction.
     const std::size_t local = hi - lo;
-    struct Ref {
-      std::uint32_t src;
-      std::uint32_t pos;
-    };
-    std::vector<std::vector<Ref>> byDst(local);
-    for (std::size_t src = 0; src < n; ++src) {
-      const auto& outbox = outboxes[src];
-      for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
-        const std::size_t d = outbox[pos].dst;
-        if (d >= lo && d < hi)
-          byDst[d - lo].push_back({static_cast<std::uint32_t>(src),
-                                   static_cast<std::uint32_t>(pos)});
-      }
-    }
-    // Serialize each destination's deliveries on the shard's local pool
-    // (disjoint fragments), then concatenate in destination order.
+    const std::vector<std::vector<Ref>> byDst =
+        indexByDst(outboxes, lo, hi, priorityWrite);
     std::vector<WireWriter> fragments(local);
     ThreadPool pool(threadsPerShard_);
     pool.parallelFor(local, [&](std::size_t i) {
-      const auto& refs = byDst[i];
-      const std::size_t take =
-          priorityWrite && !refs.empty() ? 1 : refs.size();
       WireWriter& w = fragments[i];
-      w.u64(take);
-      for (std::size_t r = 0; r < take; ++r) {
-        const Payload& p = outboxes[refs[r].src][refs[r].pos].payload;
-        w.u64(refs[r].src);
+      w.u64(byDst[i].size());
+      for (const Ref& ref : byDst[i]) {
+        const Payload& p = outboxes[ref.src][ref.pos].payload;
+        w.u64(ref.src);
         w.u64(p.size());
         w.words(p.data(), p.size());
       }
@@ -264,23 +1210,13 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
   });
 
   // --- Coordinator, phase 1: collect every report before releasing anyone.
-  struct Report {
-    std::uint8_t kind = kOk;
-    std::uint64_t words = 0;
-    std::string err;
-  };
   std::vector<Report> reports(shards_);
   try {
     for (std::size_t s = 0; s < shards_; ++s) {
       try {
-        WireReader r = WireReader::recvFramed(workers[s].fd);
-        reports[s].kind = r.u8();
-        if (reports[s].kind == kOk)
-          reports[s].words = r.u64();
-        else
-          reports[s].err = r.str();
+        reports[s] = readReport(procs[s].fd);
       } catch (const ShardError& e) {
-        reports[s].kind = kOtherError;
+        reports[s].kind = kOtherKind;
         reports[s].err = e.what();
       }
     }
@@ -288,7 +1224,7 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     // Non-ShardError (e.g. bad_alloc from a corrupted frame-length prefix):
     // reap before propagating so no worker leaks as a zombie.
     bool crashed = false;
-    reapWorkers(workers, crashed);
+    reapAll(procs, crashed);
     throw;
   }
   for (std::size_t s = 0; s < shards_; ++s) {
@@ -299,17 +1235,17 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     for (std::size_t j = 0; j < shards_; ++j) {
       const std::uint8_t stop = 0;
       try {
-        workers[j].fd.writeAll(&stop, 1);
+        procs[j].fd.writeAll(&stop, 1);
       } catch (const ShardError&) {
       }
     }
     bool crashed = false;
-    reapWorkers(workers, crashed);
+    reapAll(procs, crashed);
     // Workers exit 0 even in an aborted round, so an abnormal exit here is
     // an infrastructure bug (e.g. a sanitizer abort inside a child) — keep
     // it loud instead of letting the validation error mask it, or CI's
     // sanitizer jobs would never see a child-side crash.
-    if (crashed && reports[s].kind == kOtherError)
+    if (crashed && reports[s].kind == kOtherKind)
       throw ShardError("a shard worker exited abnormally (" + reports[s].err +
                        ")");
     if (crashed)
@@ -322,10 +1258,10 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
   for (std::size_t s = 0; s < shards_; ++s) {
     const std::uint8_t go = 1;
     try {
-      workers[s].fd.writeAll(&go, 1);
+      procs[s].fd.writeAll(&go, 1);
     } catch (const ShardError& e) {
       bool crashed = false;
-      reapWorkers(workers, crashed);
+      reapAll(procs, crashed);
       throw ShardError(std::string("shard ") + std::to_string(s) +
                        " died at the barrier: " + e.what());
     }
@@ -340,7 +1276,7 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     for (std::size_t s = 0; s < shards_; ++s) {
       WireReader r = [&] {
         try {
-          return WireReader::recvFramed(workers[s].fd);
+          return WireReader::recvFramed(procs[s].fd);
         } catch (const ShardError& e) {
           throw ShardError(std::string("shard ") + std::to_string(s) +
                            " died in delivery: " + e.what());
@@ -350,12 +1286,12 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchange(
     }
   } catch (...) {
     bool crashed = false;
-    reapWorkers(workers, crashed);
+    reapAll(procs, crashed);
     throw;
   }
 
   bool crashed = false;
-  reapWorkers(workers, crashed);
+  reapAll(procs, crashed);
   if (crashed) throw ShardError("a shard worker exited abnormally");
 
   roundWords = 0;
@@ -367,8 +1303,8 @@ std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
     const StepFn& fn, const std::vector<std::vector<Delivery>>& inboxes) {
   const std::size_t n = numMachines_;
 
-  std::vector<Worker> workers =
-      forkWorkers(shards_, [&](std::size_t s, WireFd& fd) {
+  std::vector<Proc> procs =
+      forkProcs(shards_, [&](std::size_t s, WireFd& fd) {
         const std::size_t lo = shardBegin(s), hi = shardEnd(s);
         const std::size_t local = hi - lo;
         std::uint8_t kind = kOk;
@@ -380,10 +1316,10 @@ std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
             out[i] = fn(lo + i, inboxes[lo + i]);
           });
         } catch (const CapacityError& e) {
-          kind = kCapacityError;
+          kind = kCapacityKind;
           err = e.what();
         } catch (const std::exception& e) {
-          kind = kOtherError;
+          kind = kOtherKind;
           err = e.what();
         }
         WireWriter body;
@@ -391,14 +1327,7 @@ std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
         if (kind != kOk) {
           body.str(err);
         } else {
-          for (const auto& outbox : out) {
-            body.u64(outbox.size());
-            for (const Message& m : outbox) {
-              body.u64(m.dst);
-              body.u64(m.payload.size());
-              body.words(m.payload.data(), m.payload.size());
-            }
-          }
+          for (const auto& outbox : out) writeRows(body, outbox);
         }
         body.sendFramed(fd);
       });
@@ -410,10 +1339,10 @@ std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
     for (std::size_t s = 0; s < shards_; ++s) {
       WireReader r = [&]() -> WireReader {
         try {
-          return WireReader::recvFramed(workers[s].fd);
+          return WireReader::recvFramed(procs[s].fd);
         } catch (const ShardError& e) {
           if (failKind == kOk) {
-            failKind = kOtherError;
+            failKind = kOtherKind;
             failErr = std::string("shard ") + std::to_string(s) +
                       " died in step: " + e.what();
           }
@@ -433,16 +1362,16 @@ std::vector<std::vector<Message>> ShardedEngine::computeOutboxes(
     // Parse failure (truncated frame, corrupt count/length): reap before
     // propagating so no worker leaks as a zombie.
     bool crashed = false;
-    reapWorkers(workers, crashed);
+    reapAll(procs, crashed);
     throw;
   }
 
   bool crashed = false;
-  reapWorkers(workers, crashed);
+  reapAll(procs, crashed);
   // Crash first, then the step error: a worker that reports an error still
   // exits 0, so an abnormal exit is an infrastructure bug (e.g. a sanitizer
   // abort inside a child) that must not hide behind a concurrent StepFn
-  // failure — same rule as exchange()'s abort path.
+  // failure — same rule as the abort path of the forked exchange.
   if (crashed)
     throw ShardError(failKind != kOk
                          ? "a shard worker exited abnormally (" + failErr + ")"

@@ -1,43 +1,61 @@
 // ShardedEngine — the multi-process backend of runtime::RoundEngine.
 //
-// The simulated machines are partitioned into contiguous shards; every round
-// each shard is executed by a worker *process* (fork + socketpair, never
-// exec) that runs the existing work-stealing ThreadPool over its local
-// machines. Rounds are synchronized by a two-phase barrier protocol:
+// The simulated machines are partitioned into contiguous shards, each owned
+// by a worker *process* (fork + socketpair, never exec) running the
+// work-stealing ThreadPool over its machine range. Since PR "resident shard
+// workers" the workers are **resident**: they fork once per engine — lazily,
+// at the first operation that needs them, so every kernel factory and block
+// registered up to that point crosses in the fork snapshot — and then stay
+// alive across rounds, driven by small control frames over the wire:
 //
-//   phase 1  validate-locally: each worker bounds-checks and
-//            Topology::validateSlice()-validates the constraints owned by
-//            its machine range and reports {ok, words sent} (or the error)
-//            to the coordinator;
-//   barrier  the coordinator collects every report before releasing anyone;
-//            one failed shard aborts the round for all (the same loud
-//            CapacityError the in-process engine throws);
-//   phase 2  exchange cross-shard outboxes: each worker materializes the
-//            deliveries of its destination range and ships them back; the
-//            coordinator merges the fragments in stable (source id, send
-//            position) order.
+//   REGISTER_KERNEL  bind a kernel id to a name/factory (ack'd);
+//   STEP             one kernel round: compute shard-side, route cross-shard
+//                    outboxes through the coordinator, validate the slice,
+//                    commit into the worker-resident inboxes;
+//   LOCAL / FETCH    free kernel phases (no round): per-machine local
+//                    compute, per-machine state readout;
+//   EXCHANGE         one legacy round whose outboxes were built coordinator-
+//                    side: ship each worker its sources' outboxes plus the
+//                    cross-shard messages for its destinations, validate,
+//                    ship the materialized deliveries back;
+//   STORE/FETCH/FREE worker-owned BlockStore maintenance (DistVector);
+//   SHUTDOWN         clean exit; the destructor sends it and reaps.
 //
-// Because the delivery order is fixed by that serial merge rule — never by
-// process or thread scheduling — a 1-shard, N-shard, 1-thread, and N-thread
-// run of the same workload are bit-identical: same rounds, same traffic
-// ledger, same message contents. RoundEngine asserts nothing weaker.
+// A round is a lockstep barrier conversation. For STEP:
+//   phase A  every worker runs kernel->step over its machines and ships the
+//            *cross-shard* messages (own-destined ones never leave);
+//   barrier  the coordinator collects every phase-A report — one failed
+//            shard aborts the round for all, resident state untouched;
+//   phase B  the coordinator scatters each worker its inbound cross-shard
+//            messages; the worker assembles the projected round view (its
+//            own sources complete + inbound rows) and runs
+//            Topology::validateSlice over its machine range — the same
+//            slice-validation reuse as the legacy path;
+//   commit   all slices valid: workers install the deliveries into their
+//            resident inboxes in (source id, send position) order; any
+//            slice invalid: every worker discards, the coordinator rethrows
+//            the loud CapacityError / std::invalid_argument, the ledger is
+//            never charged.
 //
-// Workers are forked per round, not kept resident: fork gives every phase a
-// copy-on-write snapshot of the full round state (outboxes, inboxes, the
-// step closure), so a StepFn can *read* anything it captured without any
-// marshalling. The snapshot is one-way, though — mutations a StepFn makes
-// to captured state die with the worker, where the in-process path would
-// persist them — so under sharding a StepFn must be pure: per-machine state
-// flows only through the returned messages and the next round's inboxes
-// (see RoundEngine::step). A fork costs ~100us — noise next to a simulated
-// round — and a crashed or deadlocked worker can never poison the next
-// round.
+// Delivery order is fixed by that serial merge rule — never by process or
+// thread scheduling — so 1-shard, N-shard, 1-thread, N-thread runs of one
+// workload stay bit-identical: same rounds, same ledger, same contents.
+//
+// The legacy fork-per-round dispatch is kept behind resident == false
+// (MPCSPAN_RESIDENT=0): it is the baseline the bench_micro round-latency
+// probe compares against, and its fork snapshot is still how the legacy
+// closure RoundEngine::step(StepFn) reads captured state (see
+// computeOutboxes — a closure captured after the residents forked cannot
+// reach them, so the closure compute wave still snapshots per round).
 #pragma once
+
+#include <sys/types.h>
 
 #include <cstddef>
 #include <functional>
 #include <vector>
 
+#include "runtime/kernel.hpp"
 #include "runtime/shard/wire.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/types.hpp"
@@ -46,46 +64,145 @@ namespace mpcspan::runtime::shard {
 
 class ShardedEngine {
  public:
-  /// `topology` is borrowed from the owning RoundEngine. `threadsPerShard`
-  /// is the lane count of each worker's local pool (>= 1). `shards` must be
-  /// in [2, numMachines] — a single shard is RoundEngine's in-process path.
+  /// `topology`, `kernels`, `blocks`, and `inboxes` are borrowed from the
+  /// owning RoundEngine; the worker fork snapshots whatever they hold at
+  /// start() time (kernels registered, blocks created, and closure-step
+  /// inboxes delivered before the first sharded round all cross for free).
+  /// `threadsPerShard` is the lane count of each worker's local pool (>= 1).
+  /// `shards` must be in [2, numMachines] — a single shard is RoundEngine's
+  /// in-process path. `resident` selects the backend described above; false
+  /// keeps the fork-per-round snapshot dispatch.
   ShardedEngine(std::size_t numMachines, std::size_t shards,
-                std::size_t threadsPerShard, const Topology* topology);
+                std::size_t threadsPerShard, const Topology* topology,
+                bool resident = true,
+                const std::vector<KernelRegistration>* kernels = nullptr,
+                BlockStore* blocks = nullptr,
+                const std::vector<std::vector<Delivery>>* inboxes = nullptr);
+
+  /// Sends SHUTDOWN to every resident worker and reaps it (EINTR-safe);
+  /// never throws, never leaks a zombie.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   std::size_t numShards() const { return shards_; }
   std::size_t threadsPerShard() const { return threadsPerShard_; }
+  bool resident() const { return resident_; }
+  /// True once the resident workers have forked (they fork lazily, at the
+  /// first round / kernel / block operation).
+  bool started() const { return !workers_.empty(); }
+  /// Pids of the live resident workers (empty before start()); stable
+  /// across rounds — the acceptance check that forking happens once.
+  std::vector<pid_t> workerPids() const;
 
-  /// Machine range [shardBegin(s), shardEnd(s)) owned by shard s.
+  /// Machine range [shardBegin(s), shardEnd(s)) owned by shard s, and the
+  /// inverse map (the one definition of the balanced contiguous split —
+  /// the coordinator's cross-shard bucketing and the workers' range checks
+  /// must never drift apart).
   std::size_t shardBegin(std::size_t s) const;
   std::size_t shardEnd(std::size_t s) const { return shardBegin(s + 1); }
+  std::size_t shardOf(std::size_t machine) const;
 
   using StepFn = std::function<std::vector<Message>(
       std::size_t machine, const std::vector<Delivery>& inbox)>;
 
-  /// One sharded synchronous round over the two-phase barrier. Returns the
-  /// per-machine inboxes and writes the words moved to `roundWords` (the
-  /// caller owns the ledger). Throws CapacityError / std::invalid_argument
-  /// exactly as the in-process path would, and ShardError if a worker dies.
+  /// One sharded synchronous round over coordinator-built outboxes. Returns
+  /// the per-machine inboxes and writes the words moved to `roundWords`
+  /// (the caller owns the ledger). With `updateResident` the deliveries are
+  /// also installed into the workers' resident inboxes (the step-driven
+  /// variant; a raw RoundEngine::exchange leaves them alone, exactly as the
+  /// in-process path leaves RoundEngine::inboxes_ alone). Throws
+  /// CapacityError / std::invalid_argument exactly as the in-process path
+  /// would, and ShardError if a worker dies.
   std::vector<std::vector<Delivery>> exchange(
       const std::vector<std::vector<Message>>& outboxes,
-      std::size_t& roundWords);
+      std::size_t& roundWords, bool updateResident = false);
 
-  /// The compute half of RoundEngine::step, sharded: runs fn over each
-  /// shard's machines inside that shard's worker process (on its local
-  /// pool) and returns the assembled full outboxes. An exception thrown by
-  /// fn is re-thrown here as CapacityError (if it was one) or
-  /// std::runtime_error — the type cannot cross the process boundary.
+  /// The compute half of the legacy closure RoundEngine::step, sharded:
+  /// runs fn over each shard's machines inside a *fork-per-round* worker
+  /// wave (the closure and its captures exist only in the coordinator, so
+  /// this wave still snapshots even when the resident backend is on) and
+  /// returns the assembled full outboxes. An exception thrown by fn is
+  /// re-thrown here as CapacityError (if it was one) or std::runtime_error.
   std::vector<std::vector<Message>> computeOutboxes(
       const StepFn& fn, const std::vector<std::vector<Delivery>>& inboxes);
 
+  // --- Resident-only operations (throw std::logic_error when the legacy
+  // backend is selected). ---
+
+  /// Announces an engine-level registration to the running workers; no-op
+  /// before start() (the fork snapshot carries the table). The workers
+  /// resolve `name` against their registries and ack, so an unresolvable
+  /// kernel fails loudly here, not mid-round.
+  void registerKernel(std::size_t id, const std::string& name);
+
+  /// One resident kernel round (the STEP barrier above). Writes the words
+  /// moved to roundWords; deliveries land in the worker-resident inboxes.
+  void stepKernel(std::size_t id, const std::vector<Word>& args,
+                  std::size_t& roundWords);
+
+  /// Free kernel phases (LOCAL / FETCH): no round, no ledger.
+  void localKernel(std::size_t id, const std::vector<Word>& args);
+  std::vector<std::vector<Word>> fetchKernel(std::size_t id,
+                                             const std::vector<Word>& args);
+
+  /// Worker-owned BlockStore maintenance. Before start() the blocks live in
+  /// the coordinator's store and cross with the fork snapshot; afterwards
+  /// they move over the wire to the worker owning each machine.
+  void storeBlocks(std::uint64_t handle,
+                   std::vector<std::vector<Word>> perMachine);
+  std::vector<std::vector<Word>> fetchBlocks(std::uint64_t handle);
+  void freeBlocks(std::uint64_t handle);
+
+  /// Ships every worker's resident inboxes back (free; diagnostics and the
+  /// closure-step sync when closure and kernel rounds are interleaved).
+  std::vector<std::vector<Delivery>> fetchInboxes();
+
   /// The MPCSPAN_SHARDS env var (clamped to >= 1), else 1.
   static std::size_t defaultShards();
+  /// MPCSPAN_RESIDENT env var: 0 selects the legacy fork-per-round
+  /// dispatch; anything else (or unset) the resident workers.
+  static bool defaultResident();
 
  private:
+  struct Worker {
+    pid_t pid = -1;
+    WireFd fd;  // coordinator end of the socketpair
+  };
+
+  /// Forks the resident workers if they are not running yet. Throws
+  /// ShardError if the backend already failed (a worker died earlier).
+  void start();
+  void requireResident(const char* op) const;
+  /// Marks the backend failed, best-effort shuts down and reaps every
+  /// worker, and throws ShardError built from `what`.
+  [[noreturn]] void fail(const std::string& what);
+  /// Runs `io` and converts any ShardError into a backend failure.
+  template <typename Fn>
+  auto guarded(Fn&& io) -> decltype(io());
+  void shutdownWorkers() noexcept;
+
+  /// Entry point of one resident worker (runs in the child).
+  void workerMain(std::size_t s, WireFd& fd);
+
+  std::vector<std::vector<Delivery>> exchangeResident(
+      const std::vector<std::vector<Message>>& outboxes,
+      std::size_t& roundWords, bool updateResident);
+  std::vector<std::vector<Delivery>> exchangeForked(
+      const std::vector<std::vector<Message>>& outboxes,
+      std::size_t& roundWords);
+
   std::size_t numMachines_;
   std::size_t shards_;
   std::size_t threadsPerShard_;
   const Topology* topology_;
+  bool resident_;
+  bool failed_ = false;
+  const std::vector<KernelRegistration>* kernels_;  // owner: RoundEngine
+  BlockStore* blocks_;                              // owner: RoundEngine
+  const std::vector<std::vector<Delivery>>* inboxes_;  // owner: RoundEngine
+  std::vector<Worker> workers_;
 };
 
 }  // namespace mpcspan::runtime::shard

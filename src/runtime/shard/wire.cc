@@ -65,6 +65,10 @@ void WireWriter::str(const std::string& s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+void WireWriter::bytes(const std::uint8_t* p, std::size_t n) {
+  buf_.insert(buf_.end(), p, p + n);
+}
+
 void WireWriter::append(const WireWriter& other) {
   buf_.insert(buf_.end(), other.buf_.begin(), other.buf_.end());
 }
@@ -116,6 +120,13 @@ std::string WireReader::str() {
   std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
   pos_ += n;
   return s;
+}
+
+const std::uint8_t* WireReader::raw(std::size_t n) {
+  need(n);
+  const std::uint8_t* p = buf_.data() + pos_;
+  pos_ += n;
+  return p;
 }
 
 void WireReader::words(Word* out, std::size_t n) {

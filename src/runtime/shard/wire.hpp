@@ -69,6 +69,8 @@ class WireWriter {
   void u64(std::uint64_t v);
   void words(const Word* p, std::size_t n);
   void str(const std::string& s);
+  /// Raw byte append (re-scattering a slice another frame carried).
+  void bytes(const std::uint8_t* p, std::size_t n);
 
   /// Appends another writer's buffer verbatim (used to concatenate
   /// per-destination fragments built in parallel).
@@ -93,6 +95,10 @@ class WireReader {
   std::string str();
   /// Reads n words into out (which must have room for n).
   void words(Word* out, std::size_t n);
+  /// Vets and consumes n bytes (n is wire-supplied), returning a pointer
+  /// into the frame buffer (valid while this reader lives) — copy-free
+  /// re-scattering.
+  const std::uint8_t* raw(std::size_t n);
   bool atEnd() const { return pos_ == buf_.size(); }
   /// Unread bytes left in the frame — lets callers sanity-check a
   /// wire-supplied element count before sizing containers by it.

@@ -54,8 +54,12 @@ class Topology {
   /// throw std::invalid_argument, never index out of bounds.
   /// The union over a partition of [0, numMachines) validates the whole
   /// round, and the per-slice word counts sum to validate()'s return; this
-  /// is what lets ShardedEngine's workers validate locally in phase one of
-  /// the round barrier.
+  /// is what lets every ShardedEngine worker validate its own range — the
+  /// fork-per-round workers against the snapshot outboxes, the resident
+  /// workers against their projected round view (own sources complete,
+  /// inbound cross-shard rows for the rest: receives of [begin, end) are
+  /// complete by construction, and sends outside the slice, though
+  /// partial, are never checked here).
   virtual std::size_t validateSlice(
       std::size_t numMachines,
       const std::vector<std::vector<Message>>& outboxes, std::size_t begin,

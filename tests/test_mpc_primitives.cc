@@ -16,6 +16,28 @@ struct KV {
   std::uint32_t payload;
 };
 
+// Stateless orderings: the primitives run as registered kernels, so these
+// cross into the shard workers by type (capturing lambdas are rejected at
+// compile time).
+struct KVKey {
+  std::uint64_t operator()(const KV& kv) const { return kv.key; }
+};
+struct KVBetter {
+  bool operator()(const KV& a, const KV& b) const {
+    return a.weight < b.weight ||
+           (a.weight == b.weight && a.payload < b.payload);
+  }
+};
+struct KVByKey {
+  bool operator()(const KV& a, const KV& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return KVBetter{}(a, b);
+  }
+};
+struct KVWeightBetter {
+  bool operator()(const KV& a, const KV& b) const { return a.weight < b.weight; }
+};
+
 TEST(PackUnpack, RoundTrips) {
   std::vector<KV> items{{1, 2.5, 3}, {4, 5.5, 6}};
   const auto words = packItems(items.data(), items.size());
@@ -32,8 +54,8 @@ TEST(DistVector, DistributesWithinCapacity) {
   for (std::size_t i = 0; i < data.size(); ++i) data[i] = i;
   DistVector<std::uint64_t> dv(sim, data);
   EXPECT_EQ(dv.size(), 100u);
-  for (const auto& shard : dv.shards())
-    EXPECT_LE(shard.size(), sim.wordsPerMachine() / 2);
+  for (const auto& block : dv.blocksHostSide())
+    EXPECT_LE(block.size(), sim.wordsPerMachine() / 2);
   EXPECT_EQ(dv.collectHostSide(), data);
 }
 
@@ -88,10 +110,10 @@ TEST_P(DistSortTest, MatchesStdSort) {
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(dv.collectHostSide(), expected);
 
-  // Shards themselves are globally ordered.
+  // Blocks themselves are globally ordered.
   std::uint64_t prev = 0;
-  for (const auto& shard : dv.shards())
-    for (std::uint64_t x : shard) {
+  for (const auto& block : dv.blocksHostSide())
+    for (std::uint64_t x : block) {
       EXPECT_GE(x, prev);
       prev = x;
     }
@@ -119,21 +141,14 @@ TEST(SegmentedMin, MatchesReferenceGroupBy) {
 
   MpcSimulator sim(MpcConfig{8, 4096});
   DistVector<KV> dv(sim, data);
-  auto keyOf = [](const KV& kv) { return kv.key; };
-  auto better = [](const KV& a, const KV& b) {
-    return a.weight < b.weight || (a.weight == b.weight && a.payload < b.payload);
-  };
-  distSort(dv, [&](const KV& a, const KV& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return better(a, b);
-  });
-  const std::vector<KV> reduced = segmentedMinSorted(dv, keyOf, better);
+  distSort(dv, KVByKey{});
+  const std::vector<KV> reduced = segmentedMinSorted(dv, KVKey{}, KVBetter{});
 
   // Reference group-by-min.
   std::map<std::uint64_t, KV> ref;
   for (const KV& kv : data) {
     auto [it, inserted] = ref.try_emplace(kv.key, kv);
-    if (!inserted && better(kv, it->second)) it->second = kv;
+    if (!inserted && KVBetter{}(kv, it->second)) it->second = kv;
   }
   ASSERT_EQ(reduced.size(), ref.size());
   for (const KV& kv : reduced) {
@@ -150,20 +165,68 @@ TEST(SegmentedMin, SingleKeySpanningAllMachines) {
     data[i] = KV{7, static_cast<double>(n - i), static_cast<std::uint32_t>(i)};
   MpcSimulator sim(MpcConfig{8, 512});
   DistVector<KV> dv(sim, data);
-  auto keyOf = [](const KV& kv) { return kv.key; };
-  auto better = [](const KV& a, const KV& b) { return a.weight < b.weight; };
   // Data is one key; already "sorted by key".
-  const std::vector<KV> reduced = segmentedMinSorted(dv, keyOf, better);
+  const std::vector<KV> reduced =
+      segmentedMinSorted(dv, KVKey{}, KVWeightBetter{});
   ASSERT_EQ(reduced.size(), 1u);
   EXPECT_DOUBLE_EQ(reduced[0].weight, 1.0);
+}
+
+TEST(DistVectorSharded, SortAndSegMinOnWorkerOwnedBlocksMatchInProcess) {
+  // The whole primitive pipeline — block storage, local sort, sampling,
+  // splitter broadcast, the all-to-all route, the boundary fix-up — runs
+  // against worker-owned state when the simulator is sharded; the result,
+  // the round count, and the traffic ledger must match the in-process
+  // engine bit for bit.
+  Rng rng(99);
+  const std::size_t n = 4000;
+  std::vector<KV> data(n);
+  for (std::size_t i = 0; i < n; ++i)
+    data[i] = KV{rng.next(64), 1.0 + rng.uniform() * 9.0,
+                 static_cast<std::uint32_t>(i)};
+
+  struct Run {
+    std::vector<std::vector<KV>> blocks;
+    std::vector<KV> reduced;
+    std::size_t rounds, words;
+  };
+  auto run = [&](std::size_t threads, std::size_t shards) {
+    MpcSimulator sim(MpcConfig{16, 4096}, threads, shards);
+    EXPECT_EQ(sim.numShards(), shards);
+    DistVector<KV> dv(sim, data);
+    distSort(dv, KVByKey{});
+    Run r;
+    r.reduced = segmentedMinSorted(dv, KVKey{}, KVBetter{});
+    r.blocks = dv.blocksHostSide();
+    r.rounds = sim.rounds();
+    r.words = sim.totalWordsSent();
+    return r;
+  };
+  const Run base = run(1, 1);
+  for (std::size_t shards : {2u, 4u, 8u}) {
+    const Run sharded = run(2, shards);
+    EXPECT_EQ(sharded.rounds, base.rounds) << shards << " shards";
+    EXPECT_EQ(sharded.words, base.words) << shards << " shards";
+    ASSERT_EQ(sharded.blocks.size(), base.blocks.size());
+    for (std::size_t m = 0; m < base.blocks.size(); ++m) {
+      ASSERT_EQ(sharded.blocks[m].size(), base.blocks[m].size());
+      for (std::size_t i = 0; i < base.blocks[m].size(); ++i) {
+        EXPECT_EQ(sharded.blocks[m][i].key, base.blocks[m][i].key);
+        EXPECT_EQ(sharded.blocks[m][i].payload, base.blocks[m][i].payload);
+      }
+    }
+    ASSERT_EQ(sharded.reduced.size(), base.reduced.size());
+    for (std::size_t i = 0; i < base.reduced.size(); ++i) {
+      EXPECT_EQ(sharded.reduced[i].key, base.reduced[i].key);
+      EXPECT_EQ(sharded.reduced[i].payload, base.reduced[i].payload);
+    }
+  }
 }
 
 TEST(SegmentedMin, EmptyInput) {
   MpcSimulator sim(MpcConfig{4, 64});
   DistVector<KV> dv(sim, {});
-  auto keyOf = [](const KV& kv) { return kv.key; };
-  auto better = [](const KV& a, const KV& b) { return a.weight < b.weight; };
-  EXPECT_TRUE(segmentedMinSorted(dv, keyOf, better).empty());
+  EXPECT_TRUE(segmentedMinSorted(dv, KVKey{}, KVWeightBetter{}).empty());
 }
 
 }  // namespace

@@ -1,20 +1,28 @@
 // The sharded multi-process RoundEngine backend: cross-shard equivalence
 // (1-shard, N-shard, 1-thread, N-thread runs of one workload are
 // bit-identical — rounds, traffic ledger, delivery contents — on all three
-// topologies), the two-phase round barrier's failure modes, and the facades
-// running sharded end-to-end.
+// topologies), the resident-worker protocol (fork once, pid stability,
+// kernel-owned state, worker-lifecycle failure modes), the round barrier's
+// failure modes on both backends, and the facades running sharded
+// end-to-end.
 #include "runtime/shard/sharded_engine.hpp"
 
 #include <gtest/gtest.h>
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <signal.h>
+
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 
 #include "cclique/clique.hpp"
 #include "graph/generators.hpp"
 #include "mpc/dist_spanner.hpp"
 #include "mpc/simulator.hpp"
 #include "pram/pram.hpp"
+#include "runtime/kernel.hpp"
 #include "runtime/round_engine.hpp"
 #include "spanner/baswana_sen.hpp"
 
@@ -24,12 +32,14 @@ namespace {
 using runtime::CliqueTopology;
 using runtime::Delivery;
 using runtime::EngineConfig;
+using runtime::KernelId;
 using runtime::Message;
 using runtime::MpcTopology;
 using runtime::PramTopology;
 using runtime::RoundEngine;
 using runtime::Topology;
 using runtime::shard::ShardedEngine;
+using runtime::shard::ShardError;
 
 /// Flattened inboxes of every round plus the ledger, for cross-backend
 /// comparison.
@@ -242,6 +252,303 @@ TEST(ShardedEngine, PartitionIsBalancedAndContiguous) {
   EXPECT_EQ(se.shardEnd(3), 10u);
   EXPECT_THROW(ShardedEngine(10, 1, 1, &topo), std::invalid_argument);
   EXPECT_THROW(ShardedEngine(10, 11, 1, &topo), std::invalid_argument);
+}
+
+// --- Resident workers: fork-once lifetime, kernel-owned state, failure
+// modes. ---
+
+/// Counter kernel: per-machine state that must live across rounds wherever
+/// the machine lives. Every round, machine m adds its inbox sum plus one to
+/// its counter and sends the counter to (m + 1) % n.
+class CounterKernel final : public runtime::StepKernel {
+ public:
+  static std::string kernelName() { return "test.counter"; }
+
+  std::vector<Message> step(const runtime::KernelCtx& ctx) override {
+    ensureSized(ctx);
+    Word sum = 1;
+    for (const Delivery& d : ctx.inbox) sum += d.payload.front();
+    counters_[ctx.machine] += sum;
+    if (!ctx.args.empty() && ctx.args[0] == 1 && ctx.machine == 2)
+      throw std::runtime_error("counter kernel boom");
+    return {{(ctx.machine + 1) % ctx.numMachines, {counters_[ctx.machine]}}};
+  }
+
+  std::vector<Word> fetch(const runtime::KernelCtx& ctx) override {
+    ensureSized(ctx);
+    return {counters_[ctx.machine]};
+  }
+
+ private:
+  void ensureSized(const runtime::KernelCtx& ctx) {
+    std::call_once(sized_, [&] { counters_.resize(ctx.numMachines); });
+  }
+
+  std::once_flag sized_;
+  std::vector<Word> counters_;
+};
+
+TEST(ResidentWorkers, ForkOncePidsStableAcrossRounds) {
+  RoundEngine eng(EngineConfig{8, 1, 4, /*resident=*/1},
+                  std::make_unique<MpcTopology>(16));
+  const auto* backend = eng.shardBackend();
+  ASSERT_NE(backend, nullptr);
+  ASSERT_TRUE(backend->resident());
+  EXPECT_FALSE(backend->started());  // lazy: nothing forked yet
+
+  auto oneRound = [&] {
+    std::vector<std::vector<Message>> out(8);
+    for (std::size_t m = 0; m < 8; ++m) out[m].push_back({(m + 3) % 8, {m}});
+    eng.exchange(std::move(out));
+  };
+  oneRound();
+  const std::vector<pid_t> pids = backend->workerPids();
+  ASSERT_EQ(pids.size(), 4u);
+  for (int r = 0; r < 5; ++r) oneRound();
+  EXPECT_EQ(backend->workerPids(), pids) << "workers must fork exactly once";
+  EXPECT_EQ(eng.rounds(), 6u);
+}
+
+TEST(ResidentWorkers, KernelStatePersistsAndMatchesInProcessBitForBit) {
+  // Same kernel workload on the in-process engine and on 2/4-shard resident
+  // engines: after >= 3 rounds the kernel-owned counters and the resident
+  // inboxes must agree bit for bit, on a deliver-all and a priority-write
+  // topology.
+  auto run = [](std::size_t threads, std::size_t shards, bool pram) {
+    const std::size_t n = 8;
+    RoundEngine eng(EngineConfig{n, threads, shards, /*resident=*/1},
+                    pram ? std::unique_ptr<Topology>(new PramTopology())
+                         : std::unique_ptr<Topology>(new MpcTopology(16)));
+    const KernelId k = eng.registerKernel(
+        CounterKernel::kernelName(),
+        [] { return std::make_unique<CounterKernel>(); });
+    for (int r = 0; r < 4; ++r) eng.step(k);
+    struct Result {
+      std::vector<std::vector<Word>> counters;
+      std::vector<Word> flatInboxes;
+      std::size_t rounds, words, maxRound;
+
+      bool operator==(const Result&) const = default;
+    } res;
+    res.counters = eng.fetchKernel(k);
+    for (const auto& inbox : eng.snapshotInboxes())
+      for (const Delivery& d : inbox) {
+        res.flatInboxes.push_back(d.src);
+        res.flatInboxes.insert(res.flatInboxes.end(), d.payload.begin(),
+                               d.payload.end());
+      }
+    res.rounds = eng.rounds();
+    res.words = eng.totalWordsSent();
+    res.maxRound = eng.maxRoundWords();
+    return res;
+  };
+  for (const bool pram : {false, true}) {
+    const auto base = run(1, 1, pram);
+    EXPECT_EQ(base.rounds, 4u);
+    EXPECT_EQ(base, run(1, 2, pram)) << "2 shards, pram=" << pram;
+    EXPECT_EQ(base, run(2, 4, pram)) << "4 shards, pram=" << pram;
+  }
+}
+
+TEST(ResidentWorkers, KernelThrowMidRoundAbortsRoundForAllShards) {
+  RoundEngine eng(EngineConfig{8, 1, 4, /*resident=*/1},
+                  std::make_unique<MpcTopology>(16));
+  const KernelId k = eng.registerKernel(
+      CounterKernel::kernelName(),
+      [] { return std::make_unique<CounterKernel>(); });
+  eng.step(k);
+  EXPECT_EQ(eng.rounds(), 1u);
+  const auto inboxesBefore = eng.snapshotInboxes();
+  // Machine 2 (shard 1) throws: the round aborts for every shard — ledger
+  // untouched, no delivery of the aborted round lands in any resident
+  // inbox — and the engine (and its workers) stay usable. Kernel state
+  // mutated before the throw is unspecified per machine (exactly like
+  // in-process captured state: whether a machine's step ran before the
+  // abort depends on the schedule), which is why the bit-identicality
+  // guarantee only covers committed rounds.
+  EXPECT_THROW(eng.step(k, {1}), std::runtime_error);
+  EXPECT_EQ(eng.rounds(), 1u);
+  const auto inboxesAfter = eng.snapshotInboxes();
+  ASSERT_EQ(inboxesBefore.size(), inboxesAfter.size());
+  for (std::size_t m = 0; m < inboxesBefore.size(); ++m) {
+    ASSERT_EQ(inboxesBefore[m].size(), inboxesAfter[m].size());
+    for (std::size_t i = 0; i < inboxesBefore[m].size(); ++i) {
+      EXPECT_EQ(inboxesBefore[m][i].src, inboxesAfter[m][i].src);
+      EXPECT_EQ(inboxesBefore[m][i].payload, inboxesAfter[m][i].payload);
+    }
+  }
+  eng.step(k);
+  EXPECT_EQ(eng.rounds(), 2u);
+}
+
+TEST(ResidentWorkers, CapacityViolationInKernelRoundKeepsType) {
+  // A kernel round that violates the topology must abort with the same
+  // loud CapacityError as the in-process engine, workers still alive.
+  class Flooder final : public runtime::StepKernel {
+   public:
+    std::vector<Message> step(const runtime::KernelCtx& ctx) override {
+      if (!ctx.args.empty())
+        return {{0, {1, 2, 3, 4, 5}}};  // 8 machines x 5 words > cap 16
+      return {{0, {1}}};
+    }
+  };
+  RoundEngine eng(EngineConfig{8, 1, 4, /*resident=*/1},
+                  std::make_unique<MpcTopology>(16));
+  const KernelId k = eng.registerKernel(
+      "test.flooder", [] { return std::make_unique<Flooder>(); });
+  EXPECT_THROW(eng.step(k, {1}), CapacityError);
+  EXPECT_EQ(eng.rounds(), 0u);
+  eng.step(k);  // workers survived the abort
+  EXPECT_EQ(eng.rounds(), 1u);
+}
+
+TEST(ResidentWorkers, PostForkRegistrationResolvesViaGlobalRegistry) {
+  // The workers fork at the first round; a kernel registered afterwards can
+  // only reach them by name through the process-global registry (that is
+  // how distSort's kernels appear mid-run, e.g. in the tradeoff
+  // contraction).
+  runtime::registerGlobalKernel("test.counter.global", [] {
+    return std::make_unique<CounterKernel>();
+  });
+  RoundEngine eng(EngineConfig{8, 1, 4, /*resident=*/1},
+                  std::make_unique<MpcTopology>(16));
+  std::vector<std::vector<Message>> out(8);
+  out[0].push_back({5, {11}});
+  eng.exchange(std::move(out));  // forks the workers
+  ASSERT_TRUE(eng.shardBackend()->started());
+  const KernelId k = eng.registerKernel("test.counter.global");
+  for (int r = 0; r < 3; ++r) eng.step(k);
+  RoundEngine ref(EngineConfig{8, 1, 1}, std::make_unique<MpcTopology>(16));
+  const KernelId rk = ref.registerKernel("test.counter.global");
+  for (int r = 0; r < 3; ++r) ref.step(rk);
+  EXPECT_EQ(eng.fetchKernel(k), ref.fetchKernel(rk));
+  // An unresolvable post-fork registration fails loudly at registration.
+  EXPECT_THROW(
+      eng.registerKernel("test.unresolvable",
+                         [] { return std::make_unique<CounterKernel>(); }),
+      std::logic_error);
+}
+
+TEST(ResidentWorkers, WorkerDeathBetweenRoundsSurfacesAsShardError) {
+  auto eng = std::make_unique<RoundEngine>(EngineConfig{8, 1, 4, /*resident=*/1},
+                                           std::make_unique<MpcTopology>(16));
+  auto oneRound = [&] {
+    std::vector<std::vector<Message>> out(8);
+    out[1].push_back({6, {9}});
+    eng->exchange(std::move(out));
+  };
+  oneRound();
+  const std::vector<pid_t> pids = eng->shardBackend()->workerPids();
+  ASSERT_EQ(pids.size(), 4u);
+  // Kill a worker while the engine is idle between rounds; the next round
+  // must throw ShardError (not hang, not return garbage), and the engine
+  // stays failed afterwards.
+  ASSERT_EQ(::kill(pids[2], SIGKILL), 0);
+  EXPECT_THROW(oneRound(), ShardError);
+  EXPECT_THROW(oneRound(), ShardError);
+  // Destruction must leave no zombies: every worker pid is fully reaped, so
+  // a later waitpid knows nothing about them.
+  eng.reset();
+  for (const pid_t pid : pids) {
+    int st = 0;
+    EXPECT_EQ(::waitpid(pid, &st, WNOHANG), -1);
+    EXPECT_EQ(errno, ECHILD);
+  }
+}
+
+TEST(ResidentWorkers, DestructorReapsIdleWorkers) {
+  std::vector<pid_t> pids;
+  {
+    RoundEngine eng(EngineConfig{6, 1, 3, /*resident=*/1},
+                    std::make_unique<MpcTopology>(16));
+    std::vector<std::vector<Message>> out(6);
+    out[0].push_back({5, {1}});
+    eng.exchange(std::move(out));
+    pids = eng.shardBackend()->workerPids();
+    ASSERT_EQ(pids.size(), 3u);
+  }
+  for (const pid_t pid : pids) {
+    int st = 0;
+    EXPECT_EQ(::waitpid(pid, &st, WNOHANG), -1) << "worker leaked: " << pid;
+    EXPECT_EQ(errno, ECHILD);
+  }
+}
+
+TEST(ResidentWorkers, LegacyForkPerRoundBackendStaysSelectableAndIdentical) {
+  // MPCSPAN_RESIDENT=0 / EngineConfig::resident=0 keeps the fork-per-round
+  // dispatch (the bench_micro baseline) — bit-identical results, workers
+  // forked per round (no resident pids).
+  const Trace base = runMpcWorkload(1, 1);
+  auto runLegacy = [&](std::size_t shards) {
+    const std::size_t p = 16;
+    EngineConfig cfg{p, 1, shards};
+    cfg.resident = 0;
+    RoundEngine eng(cfg, std::make_unique<MpcTopology>(6 * p));
+    EXPECT_FALSE(eng.residentShards());
+    Trace trace;
+    std::uint64_t h = 42;
+    for (int round = 0; round < 8; ++round) {
+      std::vector<std::vector<Message>> out(p);
+      for (std::size_t src = 0; src < p; ++src)
+        for (std::size_t k = 0; k < 3; ++k) {
+          h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+          const std::size_t dst = (src + 1 + (h >> 33) % (p - 1)) % p;
+          if (k == 0)
+            out[src].push_back({dst, {h}});
+          else
+            out[src].push_back({dst, {h, h ^ src, h >> 7}});
+        }
+      recordRound(trace, eng.exchange(std::move(out)));
+    }
+    finishTrace(trace, eng);
+    EXPECT_TRUE(eng.shardBackend()->workerPids().empty());
+    return trace;
+  };
+  EXPECT_EQ(base, runLegacy(4));
+
+  ASSERT_EQ(::setenv("MPCSPAN_RESIDENT", "0", 1), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2}, std::make_unique<MpcTopology>(8));
+    EXPECT_FALSE(eng.residentShards());
+  }
+  ASSERT_EQ(::unsetenv("MPCSPAN_RESIDENT"), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2}, std::make_unique<MpcTopology>(8));
+    EXPECT_TRUE(eng.residentShards());
+  }
+}
+
+TEST(ResidentWorkers, ClosureStepAndKernelRoundsInterleave) {
+  // The legacy closure step (fork-per-round compute wave) and kernel rounds
+  // share one logical inbox stream; interleaving them must match the
+  // in-process engine exactly.
+  auto run = [](std::size_t shards) {
+    RoundEngine eng(EngineConfig{6, 1, shards, /*resident=*/1},
+                    std::make_unique<MpcTopology>(32));
+    const KernelId k = eng.registerKernel(
+        CounterKernel::kernelName(),
+        [] { return std::make_unique<CounterKernel>(); });
+    eng.step(k);
+    eng.step(k);
+    // Closure step: forwards each machine's inbox sum to machine 0.
+    eng.step([](std::size_t m, const std::vector<Delivery>& inbox)
+                 -> std::vector<Message> {
+      Word sum = m;
+      for (const Delivery& d : inbox) sum += d.payload.front();
+      return {{0, {sum}}};
+    });
+    std::vector<Word> flat;
+    for (const Delivery& d : eng.inbox(0)) {
+      flat.push_back(d.src);
+      flat.insert(flat.end(), d.payload.begin(), d.payload.end());
+    }
+    flat.push_back(eng.rounds());
+    flat.push_back(eng.totalWordsSent());
+    return flat;
+  };
+  const auto base = run(1);
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(3));
 }
 
 // --- Facades running sharded, end to end. ---

@@ -102,7 +102,8 @@ int main(int argc, char** argv) {
       .flag("gamma", "0.5", "machine-memory exponent (round conversion; unweighted-fast)")
       .flag("threads", "0", "stepping-pool lanes (0 = MPCSPAN_THREADS/hardware)")
       .flag("shards", "0",
-            "simulator worker processes (0 = MPCSPAN_SHARDS, 1 = in-process)")
+            "simulator worker processes (0 = MPCSPAN_SHARDS, 1 = in-process; "
+            ">1 forks resident workers, MPCSPAN_RESIDENT=0 for fork-per-round)")
       .flag("seed", "1", "random seed")
       .flag("verify", "false", "audit stretch (sampled) before exiting")
       .flag("out", "", "write the spanner as an edge list to this path");
@@ -132,8 +133,12 @@ int main(int argc, char** argv) {
           MpcConfig::forInput(8 * g.numEdges(), args.getDouble("gamma"), 3.0),
           static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("threads"))),
           static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("shards"))));
-      std::fprintf(stdout, "simulator: %zu machines x %zu words, %zu shard(s)\n",
-                   sim.numMachines(), sim.wordsPerMachine(), sim.numShards());
+      std::fprintf(stdout, "simulator: %zu machines x %zu words, %zu shard(s)%s\n",
+                   sim.numMachines(), sim.wordsPerMachine(), sim.numShards(),
+                   sim.numShards() > 1
+                       ? (sim.residentShards() ? " (resident workers)"
+                                               : " (fork per round)")
+                       : "");
       const DistSpannerResult r =
           algo == "dist-tradeoff"
               ? buildDistributedTradeoff(sim, g, k, t, seed)
