@@ -6,12 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <numeric>
 
 #include "graph/distance.hpp"
 #include "graph/generators.hpp"
+#include "mpc/dist_iteration.hpp"
 #include "mpc/primitives.hpp"
 #include "runtime/round_engine.hpp"
 #include "spanner/baswana_sen.hpp"
+#include "spanner/engine.hpp"
 #include "spanner/tradeoff.hpp"
 #include "spanner/verify.hpp"
 #include "util/rng.hpp"
@@ -142,6 +145,38 @@ BENCHMARK(BM_ShardRoundDispatch)
     ->Args({2, 1})
     ->Args({2, 0})
     ->Unit(benchmark::kMicrosecond);
+
+/// One full growth-iteration wave (both find-min supersteps) through the
+/// registered kernels, resident workers vs the coordinator-driven
+/// fork-per-round reference, at a fixed shard count. This is the probe
+/// behind the kernel-port acceptance criterion: with the candidate blocks
+/// and kernel state living inside the resident workers, the wave must beat
+/// the backend that re-marshals every round coordinator-side. The simulated
+/// ledger is identical on both (asserted by test_wave_kernels); only the
+/// dispatch cost differs. arg0 = shards, arg1 = 1 resident / 0 legacy.
+void BM_IterationRoundDispatch(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const bool resident = state.range(1) != 0;
+  Rng rng(23);
+  const Graph g = gnmRandom(400, 2000, rng, {WeightModel::kUniform, 12.0}, true);
+  const std::size_t n = g.numVertices();
+  std::vector<VertexId> ident(n);
+  std::iota(ident.begin(), ident.end(), 0);
+  const std::vector<char> sampled =
+      HashCoinPolicy::draw(std::vector<char>(n, 1), 0.3, 23, 1);
+  MpcSimulator sim(MpcConfig::forInput(4 * g.numEdges(), 0.6, 3.0),
+                   /*threads=*/1, shards, resident ? 1 : 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(distIterationKernel(sim, g, ident, ident, sampled));
+  state.SetLabel(resident ? "resident" : "fork-per-round");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IterationRoundDispatch)
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_VerifyPairStretch(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

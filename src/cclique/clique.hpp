@@ -23,25 +23,34 @@ namespace mpcspan {
 
 class CongestedClique {
  public:
-  /// `threads` is forwarded to the round engine's stepping pool and
-  /// `shards` to its multi-process backend (0 selects the defaults; see
-  /// runtime::EngineConfig).
+  /// `threads` is forwarded to the round engine's stepping pool, `shards`
+  /// to its multi-process backend, and `resident` selects that backend's
+  /// worker lifetime (1 resident, 0 legacy fork-per-round, -1 the
+  /// MPCSPAN_RESIDENT default; see runtime::EngineConfig).
   explicit CongestedClique(std::size_t n, std::size_t threads = 0,
-                           std::size_t shards = 0);
+                           std::size_t shards = 0, int resident = -1);
 
   std::size_t numNodes() const { return n_; }
   std::size_t numShards() const { return engine_.numShards(); }
   std::size_t rounds() const { return engine_.rounds(); }
   std::size_t totalWords() const { return engine_.totalWordsSent(); }
 
+  /// A directed message. The clique model allows exactly one word per
+  /// ordered pair per round, so `payload` is normally one word; the vector
+  /// form exists so the API edge can *reject* malformed (zero-word)
+  /// messages explicitly instead of reading past an empty payload, and the
+  /// topology rejects oversized ones.
   struct Msg {
     VertexId src;
     VertexId dst;
-    Word payload;
+    std::vector<Word> payload;
   };
 
   /// One direct round: at most one word per ordered (src,dst) pair.
   /// Returns per-node inboxes as (src, payload) pairs in sender order.
+  /// Throws std::invalid_argument on an out-of-range node id or an empty
+  /// payload, CapacityError when a pair is reused or a payload exceeds the
+  /// one-word budget.
   std::vector<std::vector<std::pair<VertexId, Word>>> directRound(
       const std::vector<Msg>& msgs);
 

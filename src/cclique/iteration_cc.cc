@@ -1,8 +1,12 @@
 #include "cclique/iteration_cc.hpp"
 
+#include <bit>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "runtime/pack.hpp"
+#include "runtime/round_engine.hpp"
 
 namespace mpcspan {
 
@@ -11,6 +15,134 @@ namespace {
 /// Words per candidate tuple when shipped to its super-node representative
 /// (key, weight, edge id).
 constexpr std::size_t kTupleWords = 3;
+
+/// Words per incidence record in the worker-resident adjacency block:
+/// (far endpoint, edge id, weight bits), in incidence order — which the
+/// graph builder emits in ascending edge-id order, the order the legacy
+/// coordinator-built label round scanned.
+constexpr std::size_t kAdjWords = 3;
+
+// Phase tags (args[0]) of CliqueGrowthKernel. Both phases share one
+// argument layout (broadcast per round; the adjacency never re-ships):
+//   [0] phase   [1] adjacency handle   [2] n (graph vertices)
+//   [3] sampled bit count              [4] alive-bits flag
+//   [5] m (edge count)
+//   [6, 6+n)               per-vertex label words ((super << 32) | cluster)
+//   [6+n, +ceil([3]/64))   sampled cluster bits
+//   [..., +ceil(m/64))     alive edge bits (only when [4] != 0)
+constexpr Word kCliquePhaseLabelRound = 1;  // step: one real label round
+constexpr Word kCliquePhaseCandidates = 2;  // local: derive candidate tuples
+
+struct ArgsView {
+  std::size_t n, sampledBits, m;
+  bool hasAlive;
+  const Word* labels;
+  const Word* sampled;
+  const Word* alive;
+};
+
+ArgsView parseArgs(const runtime::KernelCtx& ctx) {
+  ArgsView v;
+  v.n = ctx.args.at(2);
+  v.sampledBits = ctx.args.at(3);
+  v.hasAlive = ctx.args.at(4) != 0;
+  v.m = ctx.args.at(5);
+  const std::size_t sw = (v.sampledBits + 63) / 64;
+  const std::size_t aw = v.hasAlive ? (v.m + 63) / 64 : 0;
+  if (ctx.args.size() < 6 + v.n + sw + aw)
+    throw std::invalid_argument("CliqueGrowthKernel: short argument vector");
+  v.labels = ctx.args.data() + 6;
+  v.sampled = v.labels + v.n;
+  v.alive = v.sampled + sw;
+  return v;
+}
+
+/// The spanner growth iteration's label round and candidate derivation as a
+/// registered kernel: each clique node owns its incident-edge slice of the
+/// graph (a worker-resident adjacency block, shipped once per iteration
+/// call) and its derived candidate tuples. The label round mirrors the
+/// legacy coordinator-built round message for message: one word per alive
+/// edge in each direction, deduplicated per pair by lowest alive edge id,
+/// emitted in ascending edge-id order — same messages, same delivery order,
+/// same ledger.
+class CliqueGrowthKernel final : public runtime::StepKernel {
+ public:
+  static std::string kernelName() { return "mpcspan.cclique.growth"; }
+
+  std::vector<runtime::Message> step(const runtime::KernelCtx& ctx) override {
+    if (ctx.args.at(0) != kCliquePhaseLabelRound)
+      throw std::invalid_argument("CliqueGrowthKernel: unknown step phase");
+    const ArgsView a = parseArgs(ctx);
+    const std::size_t v = ctx.machine;
+    if (v >= a.n) return {};
+    const std::vector<Word>& adj = ctx.store.block(ctx.args.at(1), v);
+    std::unordered_set<VertexId> sentTo;
+    sentTo.reserve(adj.size() / kAdjWords);
+    std::vector<runtime::Message> out;
+    for (std::size_t off = 0; off + kAdjWords <= adj.size(); off += kAdjWords) {
+      const auto to = static_cast<std::size_t>(adj[off]);
+      const auto edge = static_cast<std::size_t>(adj[off + 1]);
+      if (a.hasAlive && !runtime::testArgBit(a.alive, a.m, edge)) continue;
+      // First alive incidence per neighbour wins (ascending edge id — the
+      // builder's incidence order), exactly the legacy per-pair dedup.
+      if (!sentTo.insert(static_cast<VertexId>(to)).second) continue;
+      out.push_back({to, {a.labels[v]}});
+    }
+    return out;
+  }
+
+  void local(const runtime::KernelCtx& ctx) override {
+    if (ctx.args.at(0) != kCliquePhaseCandidates)
+      throw std::invalid_argument("CliqueGrowthKernel: unknown local phase");
+    ensureState(ctx);
+    const ArgsView a = parseArgs(ctx);
+    const std::size_t v = ctx.machine;
+    std::vector<CandTuple>& cands = cands_[v];
+    cands.clear();
+    if (v >= a.n) return;
+    const Word myLabel = a.labels[v];
+    const auto sv = static_cast<VertexId>(myLabel >> 32);
+    const auto cv = static_cast<VertexId>(myLabel & 0xffffffffu);
+    if (sv == kNoVertex || cv == kNoVertex ||
+        runtime::testArgBit(a.sampled, a.sampledBits, cv))
+      return;  // not a processing vertex
+    std::unordered_map<VertexId, Word> labels;
+    labels.reserve(ctx.inbox.size());
+    for (const runtime::Delivery& d : ctx.inbox) {
+      if (d.payload.empty())
+        throw std::invalid_argument(
+            "CliqueGrowthKernel: empty label delivery");
+      labels.emplace(static_cast<VertexId>(d.src), d.payload.front());
+    }
+    const std::vector<Word>& adj = ctx.store.block(ctx.args.at(1), v);
+    for (std::size_t off = 0; off + kAdjWords <= adj.size(); off += kAdjWords) {
+      const auto to = static_cast<VertexId>(adj[off]);
+      const auto edge = static_cast<std::uint32_t>(adj[off + 1]);
+      if (a.hasAlive && !runtime::testArgBit(a.alive, a.m, edge)) continue;
+      const auto it = labels.find(to);
+      if (it == labels.end()) continue;
+      const auto su = static_cast<VertexId>(it->second >> 32);
+      const auto cu = static_cast<VertexId>(it->second & 0xffffffffu);
+      if (su == kNoVertex || cu == kNoVertex || cu == cv) continue;
+      cands.push_back({packGroupKey(sv, cu),
+                       std::bit_cast<double>(adj[off + 2]), edge});
+    }
+  }
+
+  std::vector<Word> fetch(const runtime::KernelCtx& ctx) override {
+    ensureState(ctx);
+    const std::vector<CandTuple>& cands = cands_[ctx.machine];
+    return packItems(cands.data(), cands.size());
+  }
+
+ private:
+  void ensureState(const runtime::KernelCtx& ctx) {
+    std::call_once(sized_, [&] { cands_.resize(ctx.numMachines); });
+  }
+
+  std::once_flag sized_;
+  std::vector<std::vector<CandTuple>> cands_;  // per machine (clique node)
+};
 
 }  // namespace
 
@@ -23,6 +155,8 @@ DistIterationResult cliqueIterationKernel(CongestedClique& cc, const Graph& g,
   if (cc.numNodes() < n)
     throw std::invalid_argument("cliqueIterationKernel: clique smaller than graph");
   const std::size_t startRounds = cc.rounds();
+  runtime::RoundEngine& eng = cc.engine();
+  const std::size_t p = cc.numNodes();
 
   auto labelOf = [&](VertexId v) -> Word {
     const VertexId s = superOf[v];
@@ -30,71 +164,84 @@ DistIterationResult cliqueIterationKernel(CongestedClique& cc, const Graph& g,
     return (static_cast<Word>(s) << 32) | c;
   };
 
-  // 1. Label round: each alive edge carries one label word in each
-  // direction. Parallel edges would reuse an ordered pair with the same
-  // label word, so deduplicate per pair — one word per pair per round.
-  std::vector<CongestedClique::Msg> msgs;
-  msgs.reserve(2 * g.numEdges());
-  std::unordered_set<std::uint64_t> sentPair;
-  sentPair.reserve(2 * g.numEdges());
-  for (EdgeId id = 0; id < g.numEdges(); ++id) {
-    if (alive && !(*alive)[id]) continue;
-    const Edge& e = g.edge(id);
-    if (sentPair.insert((static_cast<std::uint64_t>(e.u) << 32) | e.v).second) {
-      msgs.push_back({e.u, e.v, labelOf(e.u)});
-      msgs.push_back({e.v, e.u, labelOf(e.v)});
+  // Ship each node its incident-edge slice (free data placement, like every
+  // DistVector block) and broadcast the per-round state — labels, sampled
+  // clusters, alive edges — as packed kernel args. The label round and the
+  // candidate sweep then run where the nodes live; only the derived
+  // candidate tuples come back.
+  std::vector<std::vector<Word>> adj(p);
+  eng.parallelFor(n, [&](std::size_t v) {
+    const auto incidences = g.neighbors(static_cast<VertexId>(v));
+    adj[v].reserve(kAdjWords * incidences.size());
+    for (const Incidence& inc : incidences) {
+      adj[v].push_back(inc.to);
+      adj[v].push_back(inc.edge);
+      adj[v].push_back(std::bit_cast<Word>(g.edge(inc.edge).w));
     }
-  }
-  const auto inbox = cc.directRound(msgs);
+  });
+  // Leased: an aborted round leaves the engine usable by contract, so a
+  // retrying caller must not accumulate dead adjacency blocks worker-side.
+  const runtime::BlockLease adjBlocks(eng, eng.createBlocks(std::move(adj)));
 
-  // 2. Local candidates: each processing vertex derives, from its incident
-  // weights and the received labels, one tuple per alive edge to a foreign
-  // cluster — the same tuples the MPC kernel ships, keyed by the vertex's
-  // super-node, so the shared reduction yields identical group minima.
+  std::vector<Word> args{0, adjBlocks.handle(), n, sampled.size(),
+                         alive != nullptr ? Word{1} : Word{0}, g.numEdges()};
+  args.reserve(args.size() + n + sampled.size() / 64 + g.numEdges() / 64 + 2);
+  for (VertexId v = 0; v < n; ++v) args.push_back(labelOf(v));
+  {
+    const std::vector<Word> bits = runtime::packArgBits(sampled);
+    args.insert(args.end(), bits.begin(), bits.end());
+  }
+  if (alive) {
+    const std::vector<Word> bits = runtime::packArgBits(*alive);
+    args.insert(args.end(), bits.begin(), bits.end());
+  }
+
+  // 1. + 2. Label round (one real clique round) and local candidate
+  // derivation, kernel-side.
+  const runtime::KernelId k = runtime::ensureKernel<CliqueGrowthKernel>(eng);
+  args[0] = kCliquePhaseLabelRound;
+  eng.step(k, args);
+  args[0] = kCliquePhaseCandidates;
+  eng.stepLocal(k, std::move(args));
+  const std::vector<std::vector<Word>> fetched = eng.fetchKernel(k);
+
   std::vector<CandTuple> cands;
-  std::vector<std::size_t> sendPerNode(cc.numNodes(), 0);
-  std::vector<std::size_t> recvPerNode(cc.numNodes(), 0);
+  std::vector<std::size_t> sendPerNode(p, 0);
+  {
+    std::size_t total = 0;
+    for (const std::vector<Word>& block : fetched) total += block.size();
+    cands.reserve(total / kTupleWords);
+  }
+  for (std::size_t v = 0; v < p; ++v) {
+    sendPerNode[v] = fetched[v].size();  // kTupleWords words per tuple
+    const std::vector<CandTuple> mine = unpackItems<CandTuple>(fetched[v]);
+    cands.insert(cands.end(), mine.begin(), mine.end());
+  }
+
+  // 3. Aggregation at the representatives: a Lenzen instance when its
+  // per-node bounds hold, otherwise the sort-based O(1)-round find-minimum
+  // of Lemma 6.1 (charged at coarser granularity, like lenzenRoute).
+  std::vector<std::size_t> recvPerNode(p, 0);
   std::vector<VertexId> repOf;  // super-node -> representative (lowest member)
   for (VertexId v = 0; v < n; ++v) {
     const VertexId sv = superOf[v];
     if (sv == kNoVertex) continue;
     if (repOf.size() <= sv) repOf.resize(sv + 1, kNoVertex);
     if (repOf[sv] == kNoVertex) repOf[sv] = v;
-    const VertexId cv = clusterOf[sv];
-    if (cv == kNoVertex || sampled[cv]) continue;  // not processing
-    std::unordered_map<VertexId, Word> labels;
-    labels.reserve(inbox[v].size());
-    for (const auto& [src, word] : inbox[v]) labels.emplace(src, word);
-    std::size_t produced = 0;
-    for (const Incidence& inc : g.neighbors(v)) {
-      if (alive && !(*alive)[inc.edge]) continue;
-      const auto it = labels.find(inc.to);
-      if (it == labels.end()) continue;
-      const VertexId su = static_cast<VertexId>(it->second >> 32);
-      const VertexId cu = static_cast<VertexId>(it->second & 0xffffffffu);
-      if (su == kNoVertex || cu == kNoVertex || cu == cv) continue;
-      cands.push_back({packGroupKey(sv, cu), g.edge(inc.edge).w, inc.edge});
-      ++produced;
-    }
-    sendPerNode[v] = kTupleWords * produced;
   }
   for (VertexId v = 0; v < n; ++v) {
     const VertexId sv = superOf[v];
     if (sv == kNoVertex || repOf[sv] == kNoVertex) continue;
     recvPerNode[repOf[sv]] += sendPerNode[v];
   }
-
-  // 3. Aggregation at the representatives: a Lenzen instance when its
-  // per-node bounds hold, otherwise the sort-based O(1)-round find-minimum
-  // of Lemma 6.1 (charged at coarser granularity, like lenzenRoute).
   bool lenzenOk = true;
-  for (std::size_t v = 0; v < cc.numNodes() && lenzenOk; ++v)
-    lenzenOk = sendPerNode[v] <= cc.numNodes() && recvPerNode[v] <= cc.numNodes();
+  for (std::size_t v = 0; v < p && lenzenOk; ++v)
+    lenzenOk = sendPerNode[v] <= p && recvPerNode[v] <= p;
   if (lenzenOk) {
     cc.lenzenRoute(sendPerNode, recvPerNode);
   } else {
     cc.chargeRounds(4);
-    cc.engine().chargeTraffic(kTupleWords * cands.size());
+    eng.chargeTraffic(kTupleWords * cands.size());
   }
 
   DistIterationResult out = reduceCandidates(cands, sampled);

@@ -1,0 +1,144 @@
+// Registered kernels behind the growth iteration's superstep hand-off
+// (mpc/dist_iteration.cc).
+//
+// After superstep 1 (distSort + segmentedMinSorted over the candidate
+// tuples), the legacy driver collected every group minimum host-side,
+// filtered it by the sampled clusters, and re-shipped the survivors through
+// a fresh DistVector — a full coordinator round trip per iteration that was
+// free in the simulated ledger (host-side data management) but real wall
+// clock under the sharded backend. FilterScatterKernel replaces the round
+// trip: the reduced sequence stays worker-side (SegMinKernel's
+// kSegPhaseEmit block), each machine filters its slice against broadcast
+// sampled bits, and one free data-placement shuffle
+// (RoundEngine::stepShuffle) re-lays the survivors out in the exact
+// DistVector layout (distVectorCapItems) — bit-identical blocks, rounds,
+// and ledger to the legacy collect/re-create, with the items moving
+// worker-to-worker at most once.
+//
+// The filter predicate crosses into the resident workers by type, like the
+// sort comparators: a stateless function object tested against broadcast
+// bit args (runtime::packArgBits).
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "runtime/pack.hpp"
+#include "runtime/kernel.hpp"
+
+namespace mpcspan {
+
+/// Phase tags (args[0]) of FilterScatterKernel. Argument layouts:
+///   count  (fetch):   {phase, srcHandle, numBits, bits...}
+///   scatter (shuffle round): {phase, srcHandle, numBits, capItems,
+///                             offsets[numMachines]..., bits...}
+///   build  (local):   {phase, dstHandle}
+constexpr Word kFilterPhaseCount = 1;
+constexpr Word kFilterPhaseScatter = 2;
+constexpr Word kFilterPhaseBuild = 3;
+
+/// Filters a reduced block by Pred against broadcast bits, then scatters
+/// the survivors into DistVector-layout destination blocks. Pred must be a
+/// stateless (capture-free) function object with
+///   bool operator()(const T&, const Word* bits, std::size_t numBits) const.
+template <typename T, typename Pred>
+class FilterScatterKernel final : public runtime::StepKernel {
+ public:
+  static std::string kernelName() {
+    return std::string("mpcspan.filterscatter.") +
+           typeid(FilterScatterKernel).name();
+  }
+
+  std::vector<runtime::Message> step(const runtime::KernelCtx& ctx) override {
+    if (ctx.args.at(0) != kFilterPhaseScatter)
+      throw std::invalid_argument("FilterScatterKernel: unknown step phase");
+    // args: {phase, src, numBits, cap, offsets[p], bits...}.
+    const std::size_t p = ctx.numMachines;
+    const std::size_t cap = ctx.args.at(3);
+    if (ctx.args.size() < 4 + p)
+      throw std::invalid_argument("FilterScatterKernel: short scatter args");
+    const std::vector<T>& keep = filtered(ctx, /*bitsAt=*/4 + p);
+    const std::size_t base = ctx.args[4 + ctx.machine];
+    // Global index base + j lands on machine (base + j) / cap; consecutive
+    // indices share destinations, so ship each run as one packed message
+    // (ascending destination = ascending global index, which is what makes
+    // the build phase's inbox concatenation reproduce the DistVector
+    // layout).
+    std::vector<runtime::Message> out;
+    std::size_t j = 0;
+    while (j < keep.size()) {
+      const std::size_t dst = (base + j) / cap;
+      const std::size_t runEnd = std::min(keep.size(), (dst + 1) * cap - base);
+      out.push_back({dst, packItems(keep.data() + j, runEnd - j)});
+      j = runEnd;
+    }
+    return out;
+  }
+
+  void local(const runtime::KernelCtx& ctx) override {
+    if (ctx.args.at(0) != kFilterPhaseBuild)
+      throw std::invalid_argument("FilterScatterKernel: unknown local phase");
+    // The scatter's deliveries arrive in (src, send position) order =
+    // ascending global index; concatenation is the machine's block.
+    std::size_t total = 0;
+    for (const runtime::Delivery& d : ctx.inbox) total += d.payload.size();
+    std::vector<Word>& block = ctx.store.block(ctx.args.at(1), ctx.machine);
+    block.clear();
+    block.reserve(total);
+    for (const runtime::Delivery& d : ctx.inbox)
+      block.insert(block.end(), d.payload.begin(), d.payload.end());
+  }
+
+  std::vector<Word> fetch(const runtime::KernelCtx& ctx) override {
+    if (ctx.args.at(0) != kFilterPhaseCount)
+      throw std::invalid_argument("FilterScatterKernel: unknown fetch phase");
+    return {filtered(ctx, /*bitsAt=*/3).size()};
+  }
+
+ private:
+  /// The count fetch and the scatter step filter the same block against the
+  /// same bits back to back on every iteration, so the result is cached per
+  /// machine under an exact (handle, bits) key — comparing the key is far
+  /// cheaper than re-unpacking the block. Callers must not mutate a block
+  /// between phases that reuse its handle with identical bits (the growth
+  /// driver never does: each iteration emits into a fresh handle).
+  const std::vector<T>& filtered(const runtime::KernelCtx& ctx,
+                                 std::size_t bitsAt) {
+    const std::size_t numBits = ctx.args.at(2);
+    const std::size_t bitWords = (numBits + 63) / 64;
+    if (ctx.args.size() < bitsAt + bitWords)
+      throw std::invalid_argument("FilterScatterKernel: short bit args");
+    const Word* bits = ctx.args.data() + bitsAt;
+    std::call_once(sized_, [&] { cache_.resize(ctx.numMachines); });
+    MachineCache& cache = cache_[ctx.machine];
+    std::vector<Word> key;
+    key.reserve(2 + bitWords);
+    key.push_back(ctx.args.at(1));
+    key.push_back(numBits);
+    key.insert(key.end(), bits, bits + bitWords);
+    if (key == cache.key) return cache.kept;
+    const std::vector<T> items =
+        unpackItems<T>(ctx.store.block(ctx.args.at(1), ctx.machine));
+    cache.kept.clear();
+    cache.kept.reserve(items.size());
+    for (const T& item : items)
+      if (pred_(item, bits, numBits)) cache.kept.push_back(item);
+    cache.key = std::move(key);
+    return cache.kept;
+  }
+
+  struct MachineCache {
+    std::vector<Word> key;  // {handle, numBits, bits...}
+    std::vector<T> kept;
+  };
+
+  Pred pred_{};
+  std::once_flag sized_;
+  std::vector<MachineCache> cache_;  // per machine
+};
+
+}  // namespace mpcspan

@@ -35,7 +35,7 @@
 #include <utility>
 #include <vector>
 
-#include "mpc/pack.hpp"
+#include "runtime/pack.hpp"
 #include "mpc/simulator.hpp"
 #include "mpc/sort_kernels.hpp"
 
@@ -43,19 +43,21 @@ namespace mpcspan {
 
 namespace detail {
 
-/// Finds or registers kernel K on the engine. odr-using the global
-/// registrar plants K's factory in every process at static initialization,
-/// so a resident worker that forked long before this call can still
-/// construct K by name.
-template <class K>
-runtime::KernelId ensureKernel(runtime::RoundEngine& eng) {
-  (void)&runtime::globalKernelRegistrar<K>;
-  const std::string name = K::kernelName();
-  if (const runtime::KernelId id = eng.findKernel(name); id.valid()) return id;
-  return eng.registerKernel(name);
-}
+/// Finds or registers kernel K on the engine (now shared runtime machinery;
+/// kept as an alias for the primitive kernels' historical spelling).
+using runtime::ensureKernel;
 
 }  // namespace detail
+
+/// The per-machine item capacity of a DistVector block: machine m holds
+/// items [m * cap, (m+1) * cap) of the logical sequence. One definition,
+/// shared by the data-shipping constructor and every kernel that lays out
+/// blocks worker-side for DistVector::adopt.
+template <typename T>
+std::size_t distVectorCapItems(const MpcSimulator& sim) {
+  return std::max<std::size_t>(1,
+                               sim.wordsPerMachine() / (2 * wordsPerItem<T>()));
+}
 
 /// A vector of T sharded in blocks across the simulator's machines. The
 /// blocks are owned by the engine's BlockStore — host-side under a 1-shard
@@ -68,8 +70,7 @@ class DistVector {
  public:
   DistVector(MpcSimulator& sim, const std::vector<T>& data)
       : sim_(&sim), machines_(sim.numMachines()), size_(data.size()) {
-    const std::size_t capItems = std::max<std::size_t>(
-        1, sim.wordsPerMachine() / (2 * wordsPerItem<T>()));
+    const std::size_t capItems = distVectorCapItems<T>(sim);
     // Block boundaries first (cheap, serial), then a parallel pack.
     std::vector<std::pair<std::size_t, std::size_t>> spans(machines_, {0, 0});
     std::size_t cursor = 0;
@@ -86,6 +87,18 @@ class DistVector {
       blocks[m] = packItems(data.data() + begin, take);
     });
     handle_ = sim.engine().createBlocks(std::move(blocks));
+  }
+
+  /// Adopts blocks that a kernel already laid out worker-side (the growth
+  /// iteration's filter/scatter chain builds its second-superstep input
+  /// this way — the items never round-trip through the coordinator). The
+  /// caller guarantees the blocks follow this class's layout: machine m
+  /// holds items [m * cap, (m+1) * cap) of the logical sequence for the
+  /// same cap the data-shipping constructor computes. Ownership of the
+  /// handle transfers: the vector frees it on destruction.
+  static DistVector adopt(MpcSimulator& sim, std::uint64_t handle,
+                          std::size_t size) {
+    return DistVector(sim, handle, size);
   }
 
   ~DistVector() {
@@ -132,6 +145,9 @@ class DistVector {
   }
 
  private:
+  DistVector(MpcSimulator& sim, std::uint64_t handle, std::size_t size)
+      : sim_(&sim), machines_(sim.numMachines()), size_(size), handle_(handle) {}
+
   MpcSimulator* sim_;
   std::size_t machines_;
   std::size_t size_;

@@ -30,12 +30,13 @@ struct MpcConfig {
 
 class MpcSimulator {
  public:
-  /// `threads` is forwarded to the round engine's stepping pool and
-  /// `shards` to its multi-process backend (0 selects the defaults; see
-  /// runtime::EngineConfig). Results are bit-identical for every thread and
-  /// shard count.
+  /// `threads` is forwarded to the round engine's stepping pool, `shards`
+  /// to its multi-process backend, and `resident` selects that backend's
+  /// worker lifetime (1 resident, 0 legacy fork-per-round, -1 the
+  /// MPCSPAN_RESIDENT default; see runtime::EngineConfig). Results are
+  /// bit-identical for every thread, shard, and backend choice.
   explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0,
-                        std::size_t shards = 0);
+                        std::size_t shards = 0, int resident = -1);
 
   std::size_t numMachines() const { return cfg_.numMachines; }
   std::size_t numShards() const { return engine_.numShards(); }

@@ -121,6 +121,22 @@ struct KernelRegistration {
   KernelFactory factory;
 };
 
+/// Bit-set packing for broadcast kernel args: a per-entity flag vector
+/// (sampled clusters, alive edges) travels to the workers as
+/// ceil(n / 64) words instead of n, and the kernels test bits in place.
+inline std::vector<Word> packArgBits(const std::vector<char>& flags) {
+  std::vector<Word> words((flags.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    if (flags[i]) words[i >> 6] |= Word{1} << (i & 63);
+  return words;
+}
+
+/// Tests bit i of a packArgBits vector; out-of-range reads as unset (a
+/// kernel must never index past the words the coordinator shipped).
+inline bool testArgBit(const Word* words, std::size_t numBits, std::size_t i) {
+  return i < numBits && ((words[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
 /// Process-global kernel registry. Registration is idempotent per name (the
 /// first factory wins; returns false on a duplicate). Thread-safe.
 bool registerGlobalKernel(std::string name, KernelFactory factory);

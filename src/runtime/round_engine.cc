@@ -209,13 +209,58 @@ void RoundEngine::step(KernelId kernel, std::vector<Word> args) {
   // In-process — and the legacy fork-per-round backend, which has no
   // worker-resident state: the kernel computes coordinator-side and only
   // the exchange is sharded.
+  inboxes_ = exchangeImpl(runKernelWave(kernel, args), /*updateResident=*/false);
+}
+
+std::vector<std::vector<Message>> RoundEngine::runKernelWave(
+    KernelId kernel, const std::vector<Word>& args) {
   StepKernel& ker = ensureKernelInstance(kernel);
   std::vector<std::vector<Message>> outboxes(numMachines_);
   pool_.parallelFor(numMachines_, [&](std::size_t m) {
     outboxes[m] = ker.step(
         KernelCtx{m, numMachines_, inboxes_[m], args, store_});
   });
-  inboxes_ = exchangeImpl(std::move(outboxes), /*updateResident=*/false);
+  return outboxes;
+}
+
+void RoundEngine::stepShuffle(KernelId kernel, std::vector<Word> args) {
+  if (kernel.index >= kernels_.size())
+    throw std::invalid_argument("RoundEngine: unknown kernel id");
+  if (shard_ && shard_->resident()) {
+    std::size_t ignoredWords = 0;
+    shard_->stepKernel(kernel.index, args, ignoredWords, /*freePlacement=*/true);
+    inboxesResident_ = true;
+    return;
+  }
+  // In-process (and the legacy fork-per-round backend, whose kernels live
+  // coordinator-side anyway): free movement needs no worker wave at all.
+  deliverFree(runKernelWave(kernel, args));
+}
+
+void RoundEngine::deliverFree(std::vector<std::vector<Message>> outboxes) {
+  struct Ref {
+    std::uint32_t src;
+    std::uint32_t pos;
+  };
+  std::vector<std::vector<Ref>> byDst(numMachines_);
+  for (std::size_t src = 0; src < numMachines_; ++src) {
+    const auto& outbox = outboxes[src];
+    for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
+      if (outbox[pos].dst >= numMachines_)
+        throw std::invalid_argument("RoundEngine: message to unknown machine");
+      byDst[outbox[pos].dst].push_back({static_cast<std::uint32_t>(src),
+                                        static_cast<std::uint32_t>(pos)});
+    }
+  }
+  std::vector<std::vector<Delivery>> inbox(numMachines_);
+  pool_.parallelFor(numMachines_, [&](std::size_t d) {
+    const auto& refs = byDst[d];
+    inbox[d].reserve(refs.size());
+    for (const Ref& ref : refs)
+      inbox[d].push_back(
+          {ref.src, std::move(outboxes[ref.src][ref.pos].payload)});
+  });
+  inboxes_ = std::move(inbox);
 }
 
 void RoundEngine::stepLocal(KernelId kernel, std::vector<Word> args) {

@@ -137,6 +137,16 @@ class RoundEngine {
   /// A kernel throw aborts the round for all shards: ledger and inboxes
   /// untouched, engine and workers still usable.
   void step(KernelId kernel, std::vector<Word> args = {});
+  /// A free data-placement round: the kernel steps every machine and the
+  /// messages are delivered (all of them, (src, send-position) order) into
+  /// the resident inboxes, but nothing is validated against the topology
+  /// and the ledger is never charged. This is the worker-to-worker
+  /// equivalent of host-side data management (createBlocks/readBlocks are
+  /// free for the same reason): re-laying out worker-owned state between
+  /// simulated supersteps without shipping it through the coordinator.
+  /// Never use it for algorithmic communication — that must go through
+  /// step(), where the model's limits are enforced.
+  void stepShuffle(KernelId kernel, std::vector<Word> args = {});
   /// A free local phase: kernel.local on every machine, no round, no
   /// messages, no ledger (the "local computation is free" half of the MPC
   /// model).
@@ -168,8 +178,15 @@ class RoundEngine {
 
  private:
   StepKernel& ensureKernelInstance(KernelId kernel);
+  /// In-process kernel compute wave: kernel.step on every machine on the
+  /// pool (step's and stepShuffle's shared half).
+  std::vector<std::vector<Message>> runKernelWave(KernelId kernel,
+                                                  const std::vector<Word>& args);
   std::vector<std::vector<Delivery>> exchangeImpl(
       std::vector<std::vector<Message>> outboxes, bool updateResident);
+  /// Unvalidated, uncharged deliver-all into inboxes_ (stepShuffle's
+  /// in-process half).
+  void deliverFree(std::vector<std::vector<Message>> outboxes);
   /// Refreshes inboxes_ from the workers if kernel rounds left the
   /// authoritative copy worker-side.
   void syncInboxes();
@@ -189,5 +206,51 @@ class RoundEngine {
   /// Multi-process backend; null when shards resolve to 1 (in-process).
   std::unique_ptr<shard::ShardedEngine> shard_;
 };
+
+/// RAII lease on a createBlocks() handle for kernel drivers that stage
+/// worker-resident blocks across several phases: the blocks are freed on
+/// scope exit — including a thrown, aborted round, which by contract leaves
+/// the engine usable, so a driver that retries must not accumulate dead
+/// blocks in the workers — unless release() hands ownership elsewhere
+/// (e.g. DistVector::adopt).
+class BlockLease {
+ public:
+  BlockLease(RoundEngine& eng, std::uint64_t handle)
+      : eng_(&eng), handle_(handle) {}
+  BlockLease(const BlockLease&) = delete;
+  BlockLease& operator=(const BlockLease&) = delete;
+  ~BlockLease() {
+    if (!eng_) return;
+    try {
+      eng_->freeBlocks(handle_);
+    } catch (...) {
+      // A dead shard backend already surfaced loudly; freeing afterwards
+      // must not terminate (same policy as DistVector's destructor).
+    }
+  }
+
+  std::uint64_t handle() const { return handle_; }
+  std::uint64_t release() {
+    eng_ = nullptr;
+    return handle_;
+  }
+
+ private:
+  RoundEngine* eng_;
+  std::uint64_t handle_;
+};
+
+/// Finds or registers kernel K on the engine. odr-using the global
+/// registrar plants K's factory in every process at static initialization,
+/// so a resident worker that forked long before this call can still
+/// construct K by name. K needs a static kernelName() and a default
+/// constructor (the GlobalKernelRegistrar contract).
+template <class K>
+KernelId ensureKernel(RoundEngine& eng) {
+  (void)&globalKernelRegistrar<K>;
+  const std::string name = K::kernelName();
+  if (const KernelId id = eng.findKernel(name); id.valid()) return id;
+  return eng.registerKernel(name);
+}
 
 }  // namespace mpcspan::runtime

@@ -477,6 +477,10 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
 
         case kOpStep: {
           const std::uint64_t kid = cmd.u64();
+          // Data-placement shuffles reuse the whole STEP barrier; the flag
+          // only disables validation and the priority-write drop (free
+          // movement is deliver-all and never charged).
+          const bool freePlacement = cmd.u8() != 0;
           const std::vector<Word> args = readArgs(cmd);
 
           // Phase A: run the kernel over this shard's machines, keep the
@@ -566,7 +570,8 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
                      Payload(scratch.data(), len)});
               }
             }
-            words = topology_->validateSlice(n, projected, lo, hi);
+            if (!freePlacement)
+              words = topology_->validateSlice(n, projected, lo, hi);
           } catch (const ShardError&) {
             throw;  // wire corruption: exit, the coordinator sees EOF
           } catch (...) {
@@ -578,8 +583,9 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
           if (kind != kOk || c.u8() != kGo) break;  // round aborted
 
           // Commit: install the deliveries into the resident inboxes.
-          installDeliveries(indexByDst(projected, lo, hi, priorityWrite),
-                            projected);
+          installDeliveries(
+              indexByDst(projected, lo, hi, priorityWrite && !freePlacement),
+              projected);
           break;
         }
 
@@ -819,7 +825,7 @@ void ShardedEngine::registerKernel(std::size_t id, const std::string& name) {
 }
 
 void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
-                               std::size_t& roundWords) {
+                               std::size_t& roundWords, bool freePlacement) {
   requireResident("step(KernelId)");
   start();
   guarded([&] {
@@ -827,6 +833,7 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
       WireWriter f;
       f.u8(kOpStep);
       f.u64(id);
+      f.u8(freePlacement ? 1 : 0);
       writeArgs(f, args);
       f.sendFramed(w.fd);
     }

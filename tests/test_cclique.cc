@@ -15,7 +15,7 @@ namespace {
 
 TEST(CongestedClique, DirectRoundDeliversAndCounts) {
   CongestedClique cc(4);
-  const auto inbox = cc.directRound({{0, 1, 42}, {2, 1, 43}, {1, 0, 44}});
+  const auto inbox = cc.directRound({{0, 1, {42}}, {2, 1, {43}}, {1, 0, {44}}});
   EXPECT_EQ(cc.rounds(), 1u);
   ASSERT_EQ(inbox[1].size(), 2u);
   EXPECT_EQ(inbox[1][0].second, 42u);
@@ -24,12 +24,24 @@ TEST(CongestedClique, DirectRoundDeliversAndCounts) {
 
 TEST(CongestedClique, RejectsDuplicatePairMessage) {
   CongestedClique cc(3);
-  EXPECT_THROW(cc.directRound({{0, 1, 1}, {0, 1, 2}}), CapacityError);
+  EXPECT_THROW(cc.directRound({{0, 1, {1}}, {0, 1, {2}}}), CapacityError);
+}
+
+TEST(CongestedClique, RejectsEmptyPayloadAtTheApiEdge) {
+  // Regression: a zero-word Msg used to reach d.payload.front() unchecked.
+  // It must be rejected up front, like an out-of-range node id, before any
+  // engine round runs.
+  CongestedClique cc(4);
+  EXPECT_THROW(cc.directRound({{0, 1, {}}}), std::invalid_argument);
+  EXPECT_THROW(cc.directRound({{0, 1, {7}}, {2, 3, {}}}), std::invalid_argument);
+  EXPECT_EQ(cc.rounds(), 0u);
+  // Oversized payloads stay a model violation (one word per pair).
+  EXPECT_THROW(cc.directRound({{0, 1, {7, 8}}}), CapacityError);
 }
 
 TEST(CongestedClique, RejectsOutOfRangeNodes) {
   CongestedClique cc(3);
-  EXPECT_THROW(cc.directRound({{0, 9, 1}}), std::invalid_argument);
+  EXPECT_THROW(cc.directRound({{0, 9, {1}}}), std::invalid_argument);
   EXPECT_THROW(CongestedClique(0), std::invalid_argument);
 }
 

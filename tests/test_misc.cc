@@ -32,7 +32,7 @@ TEST(Log, FormatterHandlesArguments) {
 
 TEST(CongestedClique, TrafficAccounting) {
   CongestedClique cc(6);
-  cc.directRound({{0, 1, 9}, {2, 3, 9}});
+  cc.directRound({{0, 1, {9}}, {2, 3, {9}}});
   EXPECT_EQ(cc.totalWords(), 2u);
   cc.lenzenRoute(std::vector<std::size_t>(6, 3), std::vector<std::size_t>(6, 3));
   EXPECT_EQ(cc.totalWords(), 2u + 18u);

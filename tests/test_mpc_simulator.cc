@@ -19,6 +19,30 @@ TEST(MpcSimulator, ConfigForInputSizesMachines) {
             static_cast<std::size_t>(std::pow(double(1 << 16), 0.8)));
 }
 
+TEST(MpcSimulator, ConfigForInputCapacityNeverDipsBelowSlack) {
+  // Property sweep: for every (n, gamma, slack), the configured cluster
+  // must hold the slack-padded input — the rounding of numMachines /
+  // wordsPerMachine may never lose capacity — and the coordinator floor
+  // S >= 64 * machines must hold so the O(1)-round primitives fit.
+  const double gammas[] = {0.3, 0.5, 0.6, 0.67, 0.8, 1.0};
+  const double slacks[] = {0.5, 1.0, 1.5, 2.0, 3.0, 3.7, 8.0};
+  for (std::size_t n = 16; n <= (1u << 22); n = n * 3 + 1) {
+    for (const double gamma : gammas) {
+      for (const double slack : slacks) {
+        const MpcConfig cfg = MpcConfig::forInput(n, gamma, slack);
+        const auto need = static_cast<std::size_t>(
+            std::ceil(slack * static_cast<double>(std::max<std::size_t>(n, 16))));
+        EXPECT_GE(cfg.numMachines * cfg.wordsPerMachine, need)
+            << "n=" << n << " gamma=" << gamma << " slack=" << slack;
+        EXPECT_GE(cfg.wordsPerMachine, 64 * cfg.numMachines)
+            << "n=" << n << " gamma=" << gamma << " slack=" << slack;
+        EXPECT_GE(cfg.wordsPerMachine, 16u);
+        EXPECT_GE(cfg.numMachines, 1u);
+      }
+    }
+  }
+}
+
 TEST(MpcSimulator, RejectsEmptyConfig) {
   EXPECT_THROW(MpcSimulator(MpcConfig{0, 16}), std::invalid_argument);
   EXPECT_THROW(MpcSimulator(MpcConfig{4, 0}), std::invalid_argument);

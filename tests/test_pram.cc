@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "graph/generators.hpp"
+#include "runtime/round_engine.hpp"
 #include "spanner/tradeoff.hpp"
 
 namespace mpcspan {
@@ -77,6 +80,82 @@ TEST(LeaderForest, DepthIsOnePerMergeWorkIsSmallerSide) {
   lf.merge(0, 4);  // sizes 4+1 -> work 1
   EXPECT_EQ(lf.depthCharged(), 4);
   EXPECT_EQ(lf.workCharged(), 5);
+}
+
+TEST(LeaderForest, MergeRejectsOutOfRangeElementIds) {
+  // Regression: merge() used to index a numMachines()-sized outbox vector
+  // with raw vertex ids — an id past the forest (hence past the engine's
+  // machine range) has to fail typed, engine-backed or not, instead of
+  // reading or addressing out of bounds.
+  LeaderForest plain(4);
+  EXPECT_THROW(plain.merge(0, 4), std::out_of_range);
+  EXPECT_THROW(plain.merge(7, 1), std::out_of_range);
+
+  LeaderForest backed(4);
+  runtime::RoundEngine eng(runtime::EngineConfig{4, 1, 1},
+                           std::make_unique<runtime::PramTopology>());
+  backed.attachEngine(&eng);
+  EXPECT_THROW(backed.merge(0, 9), std::out_of_range);
+  EXPECT_EQ(eng.rounds(), 0u);  // the rejected merge charged nothing
+  EXPECT_TRUE(backed.merge(0, 1));
+  EXPECT_EQ(eng.rounds(), 1u);
+}
+
+TEST(LeaderForest, ForestLargerThanEngineIsRejectedAtAttach) {
+  // Regression companion: a forest with more elements than the engine has
+  // memory cells can never run a write round — attaching must throw before
+  // any merge can address a cell outside the machine range.
+  LeaderForest forest(8);
+  runtime::RoundEngine small(runtime::EngineConfig{4, 1, 1},
+                             std::make_unique<runtime::PramTopology>());
+  EXPECT_THROW(forest.attachEngine(&small), std::invalid_argument);
+  // The failed attach leaves the forest engine-less and fully usable.
+  EXPECT_TRUE(forest.merge(0, 1));
+  EXPECT_EQ(forest.numSets(), 7u);
+}
+
+TEST(LeaderForest, KernelCellsMirrorHostLeaders) {
+  const std::size_t n = 12;
+  LeaderForest lf(n);
+  runtime::RoundEngine eng(runtime::EngineConfig{n, 1, 1},
+                           std::make_unique<runtime::PramTopology>());
+  lf.attachEngine(&eng);
+  lf.merge(0, 1);
+  lf.merge(2, 3);
+  lf.merge(0, 2);
+  lf.merge(9, 10);
+  const auto cells = eng.fetchKernel(lf.kernelId());
+  ASSERT_EQ(cells.size(), n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    ASSERT_EQ(cells[v].size(), 1u);
+    EXPECT_EQ(cells[v][0], lf.leader(v)) << "cell " << v;
+  }
+  EXPECT_EQ(eng.rounds(), static_cast<std::size_t>(lf.depthCharged()));
+  EXPECT_EQ(eng.totalWordsSent(), static_cast<std::size_t>(lf.workCharged()));
+}
+
+TEST(LeaderForest, EmptyDeliveryInWriteRoundIsRejected) {
+  // Regression: the legacy merge read delivered[v].front().payload.front()
+  // unchecked — a stripped delivery (zero-word payload, which only a corrupt
+  // wire can produce; the PRAM topology rejects it in a validated round) was
+  // UB. The kernel's absorb phase must reject it with a typed error. Drive
+  // the kernel directly through its global registration, handing it a
+  // crafted inbox.
+  const runtime::KernelFactory* factory =
+      runtime::findGlobalKernel("mpcspan.pram.leaderforest");
+  ASSERT_NE(factory, nullptr);
+  const std::unique_ptr<runtime::StepKernel> kernel = (*factory)();
+  runtime::BlockStore store(1);
+  const std::vector<Word> absorbArgs{kLeaderPhaseAbsorb};
+  {
+    const std::vector<runtime::Delivery> inbox{{0, {Word{3}}}};
+    kernel->local({0, 1, inbox, absorbArgs, store});  // a real write: fine
+  }
+  {
+    const std::vector<runtime::Delivery> inbox{{0, {}}};
+    EXPECT_THROW(kernel->local({0, 1, inbox, absorbArgs, store}),
+                 std::invalid_argument);
+  }
 }
 
 TEST(LeaderForest, UnionBySizeBoundsTotalWork) {

@@ -577,7 +577,7 @@ TEST(ShardedFacades, CliqueDirectRoundMatchesAcrossShards) {
     std::vector<CongestedClique::Msg> msgs;
     for (VertexId v = 0; v < 9; ++v)
       for (VertexId d = 0; d < 9; ++d)
-        if (d != v && (v + d) % 3 == 0) msgs.push_back({v, d, v * 10 + d});
+        if (d != v && (v + d) % 3 == 0) msgs.push_back({v, d, {v * 10 + d}});
     return cc.directRound(msgs);
   };
   const auto base = run(1);
