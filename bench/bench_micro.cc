@@ -178,6 +178,58 @@ BENCHMARK(BM_IterationRoundDispatch)
     ->Args({2, 0})
     ->Unit(benchmark::kMillisecond);
 
+/// The peer-mesh acceptance probe: exchange-heavy kernel rounds (every
+/// machine ships one multi-word payload to every machine outside its own
+/// shard, distSort-phase / clique-label-round shaped traffic) at a fixed
+/// shard count, cross-shard sections routed worker-to-worker over the peer
+/// mesh vs relayed through the coordinator. The ledger is identical on both
+/// (asserted by test_peer_exchange); only where the bytes travel differs —
+/// the peer mesh must make round throughput scale with per-shard traffic,
+/// not total traffic. arg0 = shards (1 = the in-process reference),
+/// arg1 = 1 peer mesh / 0 coordinator relay.
+void BM_CrossShardExchange(benchmark::State& state) {
+  using namespace mpcspan::runtime;
+  class AllToAllKernel final : public StepKernel {
+   public:
+    std::vector<Message> step(const KernelCtx& ctx) override {
+      const auto words = static_cast<std::size_t>(ctx.args[0]);
+      std::vector<Word> pay(words);
+      for (std::size_t i = 0; i < words; ++i) pay[i] = ctx.machine * 7919 + i;
+      std::vector<Message> out;
+      out.reserve(ctx.numMachines - 1);
+      for (std::size_t d = 0; d < ctx.numMachines; ++d)
+        if (d != ctx.machine) out.push_back({d, pay});
+      return out;
+    }
+  };
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const bool peer = state.range(1) != 0;
+  const std::size_t machines = 4 * shards;
+  const std::size_t payloadWords = 256;
+  EngineConfig cfg{machines, 1, shards, /*resident=*/1,
+                   /*peerExchange=*/peer ? 1 : 0};
+  RoundEngine eng(cfg,
+                  std::make_unique<MpcTopology>(machines * payloadWords));
+  const KernelId k = eng.registerKernel(
+      "bench.alltoall", [] { return std::make_unique<AllToAllKernel>(); });
+  for (auto _ : state) eng.step(k, {payloadWords});
+  state.SetLabel(shards == 1 ? "in-process"
+                             : (peer ? "peer-mesh" : "coordinator-relay"));
+  // Cross-shard words moved per round (the traffic whose routing is probed).
+  const std::size_t crossWords =
+      shards == 1 ? 0 : machines * (machines - 4) * payloadWords;
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(crossWords * sizeof(Word)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CrossShardExchange)
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_VerifyPairStretch(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(19);

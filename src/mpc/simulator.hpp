@@ -44,6 +44,10 @@ class MpcSimulator {
   /// default for shards > 1; MPCSPAN_RESIDENT=0 selects the legacy
   /// fork-per-round dispatch).
   bool residentShards() const { return engine_.residentShards(); }
+  /// True when resident kernel rounds route cross-shard sections over the
+  /// worker-to-worker mesh (MPCSPAN_PEER_EXCHANGE=0 selects the
+  /// coordinator-relay reference).
+  bool peerMeshShards() const { return engine_.peerMeshShards(); }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
   std::size_t rounds() const { return engine_.rounds(); }

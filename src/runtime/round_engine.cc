@@ -37,9 +37,12 @@ RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
     const bool resident = cfg.resident < 0
                               ? shard::ShardedEngine::defaultResident()
                               : cfg.resident != 0;
+    const bool peer = cfg.peerExchange < 0
+                          ? shard::ShardedEngine::defaultPeerExchange()
+                          : cfg.peerExchange != 0;
     shard_ = std::make_unique<shard::ShardedEngine>(
         numMachines_, shards, perShard, topology_.get(), resident, &kernels_,
-        &store_, &inboxes_);
+        &store_, &inboxes_, peer);
   }
 }
 
@@ -51,6 +54,10 @@ std::size_t RoundEngine::numShards() const {
 
 bool RoundEngine::residentShards() const {
   return shard_ && shard_->resident();
+}
+
+bool RoundEngine::peerMeshShards() const {
+  return shard_ && shard_->peerExchange();
 }
 
 std::vector<std::vector<Delivery>> RoundEngine::exchange(

@@ -58,6 +58,11 @@ struct EngineConfig {
   /// snapshot dispatch (kept as the bench_micro baseline; no kernel/block
   /// support), -1 = the MPCSPAN_RESIDENT env var (default resident).
   int resident = -1;
+  /// Cross-shard section routing of resident kernel rounds: 1 = worker-to-
+  /// worker peer mesh (the coordinator only arbitrates the barrier — the
+  /// default), 0 = coordinator relay (the bit-identical equivalence
+  /// reference), -1 = the MPCSPAN_PEER_EXCHANGE env var (default peer).
+  int peerExchange = -1;
 };
 
 class RoundEngine {
@@ -71,6 +76,9 @@ class RoundEngine {
   /// True when rounds run on resident shard workers (shards > 1 and the
   /// resident backend selected).
   bool residentShards() const;
+  /// True when resident kernel rounds route cross-shard sections over the
+  /// worker-to-worker mesh (false: coordinator relay, or not sharded).
+  bool peerMeshShards() const;
   /// The multi-process backend, null when in-process (introspection: worker
   /// pids, shard ranges).
   const shard::ShardedEngine* shardBackend() const { return shard_.get(); }

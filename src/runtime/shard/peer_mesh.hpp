@@ -1,0 +1,61 @@
+// Worker-to-worker exchange mesh for the resident shard backend.
+//
+// With the peer exchange enabled (MPCSPAN_PEER_EXCHANGE, default on), every
+// pair of resident workers shares a dedicated nonblocking AF_UNIX
+// socketpair, created by the coordinator *before the first fork* so each
+// worker can inherit exactly its own row of the mesh. After local phase-A
+// validation, each worker ships its cross-shard sections straight to the
+// destination workers over these sockets; the coordinator never relays a
+// payload byte — it only arbitrates the round barrier (per-shard verdicts
+// in, one-byte go/commit out), so per-round coordinator traffic is
+// O(shards) and per-round wall-clock scales with per-shard traffic, not
+// total traffic.
+//
+// The section row format is shared with the coordinator-relay path
+// ((src, dst, len, words) per row, rows in (src asc, send-position asc)
+// order within a section), and receivers merge sections in ascending source
+// shard order — so peer and relay rounds are bit-identical by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/shard/wire.hpp"
+#include "runtime/types.hpp"
+
+namespace mpcspan::runtime::shard {
+
+/// Creates the full worker mesh: one nonblocking socketpair per unordered
+/// worker pair (count * (count - 1) / 2 pairs). mesh[a][b] is a's end of
+/// the (a, b) pair; the diagonal stays invalid. Must run before the first
+/// worker fork; worker s keeps row s and closes every other row's fds, the
+/// coordinator closes the whole matrix once all workers forked.
+std::vector<std::vector<WireFd>> makeMesh(std::size_t count);
+
+/// Full-duplex one-frame-each exchange over a worker's mesh row: sends
+/// peer t the frame `u64 bodyLen | u64 counts[t] | sections[t] row bytes`
+/// and receives exactly one such frame from every peer, multiplexed with
+/// poll() so arbitrarily large frames cannot deadlock on full socket
+/// buffers (no pairwise send/recv ordering is ever relied on). Returns the
+/// received frame bodies indexed by peer shard (empty reader at `self`),
+/// each positioned at its leading row count. A peer that dies mid-exchange
+/// (EOF, EPIPE, ECONNRESET) throws ShardError — the worker exits and the
+/// coordinator turns the dropped verdict into ShardError for everyone.
+std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
+                                     std::size_t self,
+                                     const std::vector<std::uint64_t>& counts,
+                                     const std::vector<WireWriter>& sections);
+
+/// Merges `count` section rows (src, dst, len, words) into the projected
+/// round view: pass 1 vets every header (src in [srcLo, srcHi), dst in
+/// [dstLo, dstHi), len against the bytes actually remaining — all before
+/// any multiplication that could wrap) and counts rows per source; pass 2
+/// rewinds and fills the exactly-reserved vectors. A corrupt frame throws
+/// ShardError before any row is consumed; projected[] is only touched once
+/// the whole section has been vetted.
+void mergeSectionRows(WireReader& r, std::uint64_t count, std::size_t srcLo,
+                      std::size_t srcHi, std::size_t dstLo, std::size_t dstHi,
+                      std::vector<std::vector<Message>>& projected);
+
+}  // namespace mpcspan::runtime::shard

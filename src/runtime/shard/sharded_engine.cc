@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "runtime/shard/peer_mesh.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mpcspan::runtime::shard {
@@ -153,11 +154,8 @@ void parseRows(WireReader& r, std::size_t lo, std::size_t hi,
 /// Serializes one machine's section in the parseRows format.
 void writeRows(WireWriter& w, const std::vector<Message>& outbox) {
   w.u64(outbox.size());
-  for (const Message& m : outbox) {
-    w.u64(m.dst);
-    w.u64(m.payload.size());
-    w.words(m.payload.data(), m.payload.size());
-  }
+  for (const Message& m : outbox)
+    w.idRow(m.dst, m.payload.data(), m.payload.size());
 }
 
 [[noreturn]] void rethrow(std::uint8_t kind, const std::string& msg) {
@@ -254,12 +252,14 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
                              const Topology* topology, bool resident,
                              const std::vector<KernelRegistration>* kernels,
                              BlockStore* blocks,
-                             const std::vector<std::vector<Delivery>>* inboxes)
+                             const std::vector<std::vector<Delivery>>* inboxes,
+                             bool peerExchange)
     : numMachines_(numMachines),
       shards_(shards),
       threadsPerShard_(threadsPerShard == 0 ? 1 : threadsPerShard),
       topology_(topology),
       resident_(resident),
+      peer_(peerExchange),
       kernels_(kernels),
       blocks_(blocks),
       inboxes_(inboxes) {
@@ -303,6 +303,12 @@ bool ShardedEngine::defaultResident() {
   return true;
 }
 
+bool ShardedEngine::defaultPeerExchange() {
+  if (const char* env = std::getenv("MPCSPAN_PEER_EXCHANGE"))
+    return std::strtol(env, nullptr, 10) != 0;
+  return true;
+}
+
 std::vector<pid_t> ShardedEngine::workerPids() const {
   std::vector<pid_t> pids;
   pids.reserve(workers_.size());
@@ -323,8 +329,24 @@ void ShardedEngine::start() {
     throw ShardError(
         "ShardedEngine: shard backend is down (a worker died earlier)");
   if (started()) return;
-  std::vector<Proc> procs = forkProcs(
-      shards_, [this](std::size_t s, WireFd& fd) { workerMain(s, fd); });
+  // The peer mesh must exist before the first fork so every worker can
+  // inherit its row; worker s keeps row s and drops every other row's fds
+  // (both ends of foreign pairs), so a dead peer reads as EOF, never as a
+  // silently-held open socket. The coordinator closes the whole matrix when
+  // this frame unwinds — it never touches a mesh byte.
+  std::vector<std::vector<WireFd>> mesh;
+  if (resident_ && peer_) mesh = makeMesh(shards_);
+  std::vector<Proc> procs =
+      forkProcs(shards_, [this, &mesh](std::size_t s, WireFd& fd) {
+        std::vector<WireFd> peers;
+        if (!mesh.empty()) {
+          for (std::size_t j = 0; j < shards_; ++j)
+            if (j != s)
+              for (WireFd& end : mesh[j]) end.reset();
+          peers = std::move(mesh[s]);
+        }
+        workerMain(s, fd, peers);
+      });
   workers_.resize(shards_);
   for (std::size_t s = 0; s < shards_; ++s) {
     workers_[s].pid = procs[s].pid;
@@ -378,12 +400,20 @@ auto ShardedEngine::guarded(Fn&& io) -> decltype(io()) {
 // Resident worker (child process).
 // ---------------------------------------------------------------------------
 
-void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
+void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
+                               std::vector<WireFd>& peers) {
   const std::size_t n = numMachines_;
   const std::size_t lo = shardBegin(s), hi = shardEnd(s);
   const std::size_t local = hi - lo;
   const bool priorityWrite =
       topology_->mode() == Topology::Mode::kPriorityWrite;
+  const bool peerMode = peer_ && !peers.empty();
+  // Test-only fault injection: the named shard exits abnormally right after
+  // the phase-A go, i.e. mid peer exchange from every peer's point of view.
+  // Exercised by test_peer_exchange; never set outside tests.
+  long dieShard = -1;
+  if (const char* env = std::getenv("MPCSPAN_TEST_PEER_DIE_SHARD"))
+    dieShard = std::strtol(env, nullptr, 10);
 
   // Worker-owned state, alive across rounds. The kernel table, block store,
   // and closure-step inboxes registered before the fork arrive with the
@@ -484,103 +514,111 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
           const std::vector<Word> args = readArgs(cmd);
 
           // Phase A: run the kernel over this shard's machines, keep the
-          // messages, ship the cross-shard ones to the coordinator grouped
-          // by destination shard.
+          // messages, and bucket every cross-shard one straight into its
+          // destination shard's section in one pass over the outboxes
+          // (rows land in (src asc, send-position asc) order because the
+          // scan walks machines ascending). This is the local validation
+          // gate: a kernel throw or a rogue destination is reported before
+          // any section leaves the worker.
           std::uint8_t kind = kOk;
           std::string err;
           std::vector<std::vector<Message>> own(local);
+          std::vector<WireWriter> sections(shards_);
+          std::vector<std::uint64_t> counts(shards_, 0);
           try {
             StepKernel& ker = ensureInstance(kid);
             pool.parallelFor(local, [&](std::size_t i) {
               own[i] = ker.step(
                   KernelCtx{lo + i, n, inboxes[i], args, store});
             });
-            for (const auto& outbox : own)
-              for (const Message& msg : outbox)
+            for (std::size_t i = 0; i < local; ++i)
+              for (const Message& msg : own[i]) {
                 if (msg.dst >= n)
                   throw std::invalid_argument(
                       "RoundEngine: message to unknown machine");
+                if (msg.dst >= lo && msg.dst < hi) continue;
+                const std::size_t t = shardOf(msg.dst);
+                sections[t].row(lo + i, msg.dst, msg.payload.data(),
+                                msg.payload.size());
+                ++counts[t];
+              }
           } catch (...) {
             kind = classify(err);
+            sections.assign(shards_, WireWriter());
+            counts.assign(shards_, 0);
           }
-          {
+          if (peerMode) {
+            // Peer exchange: the report is the whole phase-A upload — the
+            // sections wait for the go byte and then travel the mesh.
+            writeReport(fd, kind, err);
+          } else {
+            // Coordinator relay: sections ride the report, per peer shard t
+            // (ascending, skipping self): row count, raw byte length, rows.
+            // The byte length lets the coordinator re-scatter without
+            // walking rows.
             WireWriter a;
             a.u8(kind);
             if (kind != kOk) {
               a.str(err);
             } else {
-              // Per peer shard t (ascending, skipping self): row count, raw
-              // byte length, rows (src, dst, len, words). The byte length
-              // lets the coordinator re-scatter without walking rows.
               for (std::size_t t = 0; t < shards_; ++t) {
                 if (t == s) continue;
-                const std::size_t tlo = shardBegin(t), thi = shardEnd(t);
-                WireWriter rows;
-                std::uint64_t count = 0;
-                for (std::size_t i = 0; i < local; ++i)
-                  for (const Message& msg : own[i]) {
-                    if (msg.dst < tlo || msg.dst >= thi) continue;
-                    rows.u64(lo + i);
-                    rows.u64(msg.dst);
-                    rows.u64(msg.payload.size());
-                    rows.words(msg.payload.data(), msg.payload.size());
-                    ++count;
-                  }
-                a.u64(count);
-                a.u64(rows.size());
-                a.append(rows);
+                a.u64(counts[t]);
+                a.u64(sections[t].size());
+                a.append(sections[t]);
               }
             }
             a.sendFramed(fd);
           }
 
           // Barrier: wait for the coordinator's verdict even after a local
-          // error (lockstep).
+          // error (lockstep). Abort means no peer byte ever moved.
           WireReader b = WireReader::recvFramed(fd);
           if (kind != kOk || b.u8() != kGo) break;  // round aborted
 
+          if (peerMode && dieShard == static_cast<long>(s)) std::_Exit(4);
+
           // Phase B: assemble the projected round view — own sources
-          // complete, inbound rows for everyone else — validate this
-          // machine range, report, and await the commit verdict.
+          // complete, inbound rows for everyone else, merged in ascending
+          // source-shard order — validate this machine range, report, and
+          // await the commit verdict.
           std::vector<std::vector<Message>> projected(n);
           for (std::size_t i = 0; i < local; ++i)
             projected[lo + i] = std::move(own[i]);
           std::uint64_t words = 0;
           try {
-            for (std::size_t t = 0; t < shards_; ++t) {
-              if (t == s) continue;
-              const std::size_t tlo = shardBegin(t), thi = shardEnd(t);
-              const std::uint64_t count = b.u64();
-              (void)b.u64();  // byte length (coordinator-side convenience)
-              if (count > b.remaining() / (3 * sizeof(std::uint64_t)))
-                throw ShardError("shard wire frame: corrupt row count");
-              std::vector<Word> scratch;
-              for (std::uint64_t i = 0; i < count; ++i) {
-                const std::uint64_t src = b.u64();
-                const std::uint64_t dst = b.u64();
-                const std::uint64_t len = b.u64();
-                if (src < tlo || src >= thi || dst < lo || dst >= hi)
-                  throw ShardError("shard wire frame: row out of range");
-                if (len > b.remaining() / sizeof(Word))
-                  throw ShardError("shard wire frame: corrupt payload length");
-                scratch.resize(len);
-                b.words(scratch.data(), len);
-                projected[src].push_back(
-                    {static_cast<std::size_t>(dst),
-                     Payload(scratch.data(), len)});
+            if (peerMode) {
+              std::vector<WireReader> frames =
+                  meshExchange(peers, s, counts, sections);
+              for (std::size_t t = 0; t < shards_; ++t) {
+                if (t == s) continue;
+                const std::uint64_t count = frames[t].u64();
+                mergeSectionRows(frames[t], count, shardBegin(t), shardEnd(t),
+                                 lo, hi, projected);
+              }
+            } else {
+              for (std::size_t t = 0; t < shards_; ++t) {
+                if (t == s) continue;
+                const std::uint64_t count = b.u64();
+                (void)b.u64();  // byte length (coordinator-side convenience)
+                mergeSectionRows(b, count, shardBegin(t), shardEnd(t), lo, hi,
+                                 projected);
               }
             }
             if (!freePlacement)
               words = topology_->validateSlice(n, projected, lo, hi);
           } catch (const ShardError&) {
-            throw;  // wire corruption: exit, the coordinator sees EOF
+            throw;  // wire/mesh corruption or peer death: exit, the
+                    // coordinator sees EOF and fails the round for all
           } catch (...) {
             kind = classify(err);
           }
           writeReport(fd, kind, err, words);
 
           WireReader c = WireReader::recvFramed(fd);
-          if (kind != kOk || c.u8() != kGo) break;  // round aborted
+          if (kind != kOk || c.u8() != kGo) break;  // round aborted;
+                                                    // received peer bytes
+                                                    // are discarded unread
 
           // Commit: install the deliveries into the resident inboxes.
           installDeliveries(
@@ -600,23 +638,11 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
           std::uint64_t words = 0;
           try {
             parseRows<Message>(cmd, lo, hi, projected);
+            // Inbound cross-shard rows: the section header's per-source
+            // counts pre-reserve the projected rows, so a source fanning
+            // many messages into this range never reallocates per delivery.
             const std::uint64_t count = cmd.u64();
-            if (count > cmd.remaining() / (3 * sizeof(std::uint64_t)))
-              throw ShardError("shard wire frame: corrupt row count");
-            std::vector<Word> scratch;
-            for (std::uint64_t i = 0; i < count; ++i) {
-              const std::uint64_t src = cmd.u64();
-              const std::uint64_t dst = cmd.u64();
-              const std::uint64_t len = cmd.u64();
-              if (src >= n || dst < lo || dst >= hi)
-                throw ShardError("shard wire frame: row out of range");
-              if (len > cmd.remaining() / sizeof(Word))
-                throw ShardError("shard wire frame: corrupt payload length");
-              scratch.resize(len);
-              cmd.words(scratch.data(), len);
-              projected[src].push_back(
-                  {static_cast<std::size_t>(dst), Payload(scratch.data(), len)});
-            }
+            mergeSectionRows(cmd, count, 0, n, lo, hi, projected);
             words = topology_->validateSlice(n, projected, lo, hi);
           } catch (const ShardError&) {
             throw;
@@ -638,9 +664,7 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd) {
             w.u64(byDst[i].size());
             for (const Ref& ref : byDst[i]) {
               const Payload& p = projected[ref.src][ref.pos].payload;
-              w.u64(ref.src);
-              w.u64(p.size());
-              w.words(p.data(), p.size());
+              w.idRow(ref.src, p.data(), p.size());
             }
           });
           WireWriter body;
@@ -798,6 +822,37 @@ Report readReport(WireFd& fd) {
   return rep;
 }
 
+/// Collects one report per worker, in shard order.
+template <class W>
+std::vector<Report> collectReports(std::vector<W>& workers) {
+  std::vector<Report> reports(workers.size());
+  for (std::size_t s = 0; s < workers.size(); ++s)
+    reports[s] = readReport(workers[s].fd);
+  return reports;
+}
+
+/// The shared tail of every coordinator barrier: broadcasts the one-byte
+/// go/abort verdict derived from the reports to every worker, and on abort
+/// rethrows the lowest failed shard's error.
+template <class W>
+void broadcastVerdict(std::vector<W>& workers,
+                      const std::vector<Report>& reports) {
+  std::size_t firstErr = reports.size();
+  for (std::size_t s = 0; s < reports.size(); ++s)
+    if (reports[s].kind != kOk) {
+      firstErr = s;
+      break;
+    }
+  const std::uint8_t verdict = firstErr == reports.size() ? kGo : kAbort;
+  for (W& w : workers) {
+    WireWriter f;
+    f.u8(verdict);
+    f.sendFramed(w.fd);
+  }
+  if (verdict == kAbort)
+    rethrow(reports[firstErr].kind, reports[firstErr].err);
+}
+
 }  // namespace
 
 void ShardedEngine::registerKernel(std::size_t id, const std::string& name) {
@@ -838,11 +893,31 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
       f.sendFramed(w.fd);
     }
 
-    // Phase A barrier: collect every compute report. The ok ones carry the
-    // cross-shard sections (s -> t) as raw byte slices, which are appended
-    // straight into the per-target phase-B frames as they are parsed —
-    // replies arrive in ascending origin order, which is exactly the
-    // section order the workers expect, so no intermediate copy is needed.
+    if (peer_) {
+      // Peer exchange: the coordinator is a pure barrier arbiter. Phase A
+      // reports carry only verdicts — one abort byte kills the round for
+      // all before any peer byte moves; on go the workers exchange their
+      // sections over the mesh and report validation, and the coordinator
+      // broadcasts the one-byte commit/abort. Per-round coordinator
+      // traffic is O(shards) regardless of the payload volume.
+      broadcastVerdict(workers_, collectReports(workers_));
+
+      // Validation barrier (the workers are mid-mesh-exchange), then commit.
+      const std::vector<Report> reports = collectReports(workers_);
+      broadcastVerdict(workers_, reports);
+
+      roundWords = 0;
+      for (const Report& rep : reports) roundWords += rep.words;
+      return;
+    }
+
+    // Coordinator relay (MPCSPAN_PEER_EXCHANGE=0, the equivalence
+    // reference). Phase A barrier: collect every compute report. The ok
+    // ones carry the cross-shard sections (s -> t) as raw byte slices,
+    // which are appended straight into the per-target phase-B frames as
+    // they are parsed — replies arrive in ascending origin order, which is
+    // exactly the section order the workers expect, so no intermediate
+    // copy is needed.
     std::vector<Report> reports(shards_);
     std::vector<WireWriter> scatter(shards_);
     for (WireWriter& f : scatter) f.u8(kGo);
@@ -882,19 +957,8 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
     for (std::size_t t = 0; t < shards_; ++t) scatter[t].sendFramed(workers_[t].fd);
 
     // Validation barrier, then commit.
-    for (std::size_t s = 0; s < shards_; ++s) reports[s] = readReport(workers_[s].fd);
-    for (std::size_t s = 0; s < shards_; ++s)
-      if (reports[s].kind != kOk) {
-        firstErr = s;
-        break;
-      }
-    const std::uint8_t verdict = firstErr == shards_ ? kGo : kAbort;
-    for (Worker& w : workers_) {
-      WireWriter f;
-      f.u8(verdict);
-      f.sendFramed(w.fd);
-    }
-    if (verdict == kAbort) rethrow(reports[firstErr].kind, reports[firstErr].err);
+    reports = collectReports(workers_);
+    broadcastVerdict(workers_, reports);
 
     roundWords = 0;
     for (const Report& rep : reports) roundWords += rep.words;
@@ -1072,24 +1136,24 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchangeResident(
     bool updateResident) {
   const std::size_t n = numMachines_;
 
-  // Bounds-check and bucket the cross-shard messages in one scan, before
-  // any frame moves — a rogue destination throws std::invalid_argument with
-  // the engine (and the workers) untouched, exactly like in-process.
-  struct CrossRef {
-    std::uint32_t src;
-    std::uint32_t pos;
-  };
-  std::vector<std::vector<CrossRef>> cross(shards_);
+  // Bounds-check and bucket the cross-shard messages in one scan, appending
+  // each row straight into its destination shard's section instead of
+  // collecting refs and re-walking outboxes[src][pos] per message. Nothing
+  // has been sent when a rogue destination throws std::invalid_argument, so
+  // the engine (and the workers) stay untouched, exactly like in-process.
+  std::vector<WireWriter> cross(shards_);
+  std::vector<std::uint64_t> crossCount(shards_, 0);
+  std::vector<std::size_t> ownBytes(shards_, 0);  // each shard's writeRows span
   for (std::size_t src = 0; src < n; ++src) {
     const std::size_t home = shardOf(src);
-    const auto& outbox = outboxes[src];
-    for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
-      if (outbox[pos].dst >= n)
+    for (const Message& msg : outboxes[src]) {
+      if (msg.dst >= n)
         throw std::invalid_argument("RoundEngine: message to unknown machine");
-      const std::size_t t = shardOf(outbox[pos].dst);
-      if (t != home)
-        cross[t].push_back({static_cast<std::uint32_t>(src),
-                            static_cast<std::uint32_t>(pos)});
+      ownBytes[home] += 2 * sizeof(std::uint64_t) + sizeof(Word) * msg.payload.size();
+      const std::size_t t = shardOf(msg.dst);
+      if (t == home) continue;
+      cross[t].row(src, msg.dst, msg.payload.data(), msg.payload.size());
+      ++crossCount[t];
     }
   }
 
@@ -1097,40 +1161,23 @@ std::vector<std::vector<Delivery>> ShardedEngine::exchangeResident(
   return guarded([&] {
     for (std::size_t s = 0; s < shards_; ++s) {
       WireWriter f;
+      // Exact frame size: op + flag bytes, a count word per own machine,
+      // the own-outbox rows, the cross count word, the cross section.
+      f.reserve(2 + 8 * (shardEnd(s) - shardBegin(s)) + ownBytes[s] + 8 +
+                cross[s].size());
       f.u8(kOpExchange);
       f.u8(updateResident ? 1 : 0);
       for (std::size_t m = shardBegin(s); m < shardEnd(s); ++m)
         writeRows(f, outboxes[m]);
-      f.u64(cross[s].size());
-      for (const CrossRef& ref : cross[s]) {
-        const Message& msg = outboxes[ref.src][ref.pos];
-        f.u64(ref.src);
-        f.u64(msg.dst);
-        f.u64(msg.payload.size());
-        f.words(msg.payload.data(), msg.payload.size());
-      }
+      f.u64(crossCount[s]);
+      f.append(cross[s]);
       f.sendFramed(workers_[s].fd);
     }
 
     // Validation barrier: every slice must pass before anyone commits; one
     // failed shard aborts the round for all, and the workers stay alive.
-    std::vector<Report> reports(shards_);
-    for (std::size_t s = 0; s < shards_; ++s)
-      reports[s] = readReport(workers_[s].fd);
-    std::size_t firstErr = shards_;
-    for (std::size_t s = 0; s < shards_; ++s)
-      if (reports[s].kind != kOk) {
-        firstErr = s;
-        break;
-      }
-    const std::uint8_t verdict = firstErr == shards_ ? kGo : kAbort;
-    for (Worker& w : workers_) {
-      WireWriter f;
-      f.u8(verdict);
-      f.sendFramed(w.fd);
-    }
-    if (verdict == kAbort)
-      rethrow(reports[firstErr].kind, reports[firstErr].err);
+    const std::vector<Report> reports = collectReports(workers_);
+    broadcastVerdict(workers_, reports);
 
     // Commit: merge the delivery fragments in shard (= destination) order.
     std::vector<std::vector<Delivery>> inbox(n);

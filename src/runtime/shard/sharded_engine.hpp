@@ -9,9 +9,10 @@
 // alive across rounds, driven by small control frames over the wire:
 //
 //   REGISTER_KERNEL  bind a kernel id to a name/factory (ack'd);
-//   STEP             one kernel round: compute shard-side, route cross-shard
-//                    outboxes through the coordinator, validate the slice,
-//                    commit into the worker-resident inboxes;
+//   STEP             one kernel round: compute shard-side, exchange the
+//                    cross-shard sections worker-to-worker over the peer
+//                    mesh (or through the coordinator relay), validate the
+//                    slice, commit into the worker-resident inboxes;
 //   LOCAL / FETCH    free kernel phases (no round): per-machine local
 //                    compute, per-machine state readout;
 //   EXCHANGE         one legacy round whose outboxes were built coordinator-
@@ -21,21 +22,35 @@
 //   STORE/FETCH/FREE worker-owned BlockStore maintenance (DistVector);
 //   SHUTDOWN         clean exit; the destructor sends it and reaps.
 //
-// A round is a lockstep barrier conversation. For STEP:
-//   phase A  every worker runs kernel->step over its machines and ships the
-//            *cross-shard* messages (own-destined ones never leave);
-//   barrier  the coordinator collects every phase-A report — one failed
-//            shard aborts the round for all, resident state untouched;
-//   phase B  the coordinator scatters each worker its inbound cross-shard
-//            messages; the worker assembles the projected round view (its
-//            own sources complete + inbound rows) and runs
-//            Topology::validateSlice over its machine range — the same
-//            slice-validation reuse as the legacy path;
+// A round is a lockstep barrier conversation. For STEP (with the default
+// worker-to-worker peer exchange, MPCSPAN_PEER_EXCHANGE=1):
+//   phase A  every worker runs kernel->step over its machines, buckets the
+//            *cross-shard* messages into per-peer sections (own-destined
+//            ones never leave), and reports only its verdict — no payload
+//            goes up the coordinator wire;
+//   barrier  the coordinator collects every phase-A report and broadcasts
+//            one go/abort byte — one failed shard aborts the round for all
+//            before any peer byte moves, resident state untouched;
+//   phase B  each worker ships its sections *directly to the destination
+//            workers* over the pre-forked peer mesh (runtime/shard/
+//            peer_mesh.hpp), merges inbound sections in ascending source
+//            shard order into the projected round view (its own sources
+//            complete + inbound rows) and runs Topology::validateSlice
+//            over its machine range — the same slice-validation reuse as
+//            the legacy path;
 //   commit   all slices valid: workers install the deliveries into their
-//            resident inboxes in (source id, send position) order; any
-//            slice invalid: every worker discards, the coordinator rethrows
-//            the loud CapacityError / std::invalid_argument, the ledger is
+//            resident inboxes in (source shard, src, send position) order;
+//            any slice invalid: every worker discards the peer bytes it
+//            received (nothing was consumed), the coordinator rethrows the
+//            loud CapacityError / std::invalid_argument, the ledger is
 //            never charged.
+//
+// The coordinator therefore only arbitrates the barrier: its per-round
+// traffic is O(shards) bytes (verdicts in, go/commit bytes out), and
+// per-round wall-clock scales with per-shard traffic instead of total
+// traffic. MPCSPAN_PEER_EXCHANGE=0 keeps the coordinator-relay STEP (the
+// sections ride the phase-A report up and the phase-B barrier frame down)
+// as the bit-identical equivalence reference.
 //
 // Delivery order is fixed by that serial merge rule — never by process or
 // thread scheduling — so 1-shard, N-shard, 1-thread, N-thread runs of one
@@ -71,13 +86,16 @@ class ShardedEngine {
   /// `threadsPerShard` is the lane count of each worker's local pool (>= 1).
   /// `shards` must be in [2, numMachines] — a single shard is RoundEngine's
   /// in-process path. `resident` selects the backend described above; false
-  /// keeps the fork-per-round snapshot dispatch.
+  /// keeps the fork-per-round snapshot dispatch. `peerExchange` selects the
+  /// worker-to-worker mesh for resident STEP rounds (default), false the
+  /// coordinator relay; irrelevant when `resident` is false.
   ShardedEngine(std::size_t numMachines, std::size_t shards,
                 std::size_t threadsPerShard, const Topology* topology,
                 bool resident = true,
                 const std::vector<KernelRegistration>* kernels = nullptr,
                 BlockStore* blocks = nullptr,
-                const std::vector<std::vector<Delivery>>* inboxes = nullptr);
+                const std::vector<std::vector<Delivery>>* inboxes = nullptr,
+                bool peerExchange = true);
 
   /// Sends SHUTDOWN to every resident worker and reaps it (EINTR-safe);
   /// never throws, never leaks a zombie.
@@ -89,6 +107,9 @@ class ShardedEngine {
   std::size_t numShards() const { return shards_; }
   std::size_t threadsPerShard() const { return threadsPerShard_; }
   bool resident() const { return resident_; }
+  /// True when resident STEP rounds exchange cross-shard sections over the
+  /// worker-to-worker mesh (false: coordinator relay).
+  bool peerExchange() const { return resident_ && peer_; }
   /// True once the resident workers have forked (they fork lazily, at the
   /// first round / kernel / block operation).
   bool started() const { return !workers_.empty(); }
@@ -168,6 +189,9 @@ class ShardedEngine {
   /// MPCSPAN_RESIDENT env var: 0 selects the legacy fork-per-round
   /// dispatch; anything else (or unset) the resident workers.
   static bool defaultResident();
+  /// MPCSPAN_PEER_EXCHANGE env var: 0 selects the coordinator-relay STEP
+  /// exchange; anything else (or unset) the worker-to-worker peer mesh.
+  static bool defaultPeerExchange();
 
  private:
   struct Worker {
@@ -187,8 +211,10 @@ class ShardedEngine {
   auto guarded(Fn&& io) -> decltype(io());
   void shutdownWorkers() noexcept;
 
-  /// Entry point of one resident worker (runs in the child).
-  void workerMain(std::size_t s, WireFd& fd);
+  /// Entry point of one resident worker (runs in the child). `peers` is
+  /// this worker's row of the exchange mesh (empty vector when the peer
+  /// exchange is off).
+  void workerMain(std::size_t s, WireFd& fd, std::vector<WireFd>& peers);
 
   std::vector<std::vector<Delivery>> exchangeResident(
       const std::vector<std::vector<Message>>& outboxes,
@@ -202,6 +228,7 @@ class ShardedEngine {
   std::size_t threadsPerShard_;
   const Topology* topology_;
   bool resident_;
+  bool peer_;
   bool failed_ = false;
   const std::vector<KernelRegistration>* kernels_;  // owner: RoundEngine
   BlockStore* blocks_;                              // owner: RoundEngine

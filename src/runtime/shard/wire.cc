@@ -1,10 +1,13 @@
 #include "runtime/shard/wire.hpp"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace mpcspan::runtime::shard {
 
@@ -42,6 +45,33 @@ void WireFd::readAll(void* buf, std::size_t n) {
   }
 }
 
+void WireFd::writeAll2(const void* hdr, std::size_t nHdr, const void* body,
+                       std::size_t nBody) {
+  const auto* hp = static_cast<const std::uint8_t*>(hdr);
+  const auto* bp = static_cast<const std::uint8_t*>(body);
+  while (nHdr + nBody > 0) {
+    iovec iov[2];
+    int cnt = 0;
+    if (nHdr > 0) iov[cnt++] = {const_cast<std::uint8_t*>(hp), nHdr};
+    if (nBody > 0) iov[cnt++] = {const_cast<std::uint8_t*>(bp), nBody};
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw ShardError(std::string("shard wire write: ") + std::strerror(errno));
+    }
+    auto adv = static_cast<std::size_t>(w);
+    const std::size_t fromHdr = std::min(adv, nHdr);
+    hp += fromHdr;
+    nHdr -= fromHdr;
+    adv -= fromHdr;
+    bp += adv;
+    nBody -= adv;
+  }
+}
+
 void makeSocketPair(WireFd& parentEnd, WireFd& childEnd) {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
@@ -69,30 +99,50 @@ void WireWriter::bytes(const std::uint8_t* p, std::size_t n) {
   buf_.insert(buf_.end(), p, p + n);
 }
 
+void WireWriter::row(std::uint64_t a, std::uint64_t b, const Word* w,
+                     std::size_t n) {
+  const std::uint64_t hdr[3] = {a, b, n};
+  const auto* hp = reinterpret_cast<const std::uint8_t*>(hdr);
+  buf_.insert(buf_.end(), hp, hp + sizeof(hdr));
+  words(w, n);
+}
+
+void WireWriter::idRow(std::uint64_t id, const Word* w, std::size_t n) {
+  const std::uint64_t hdr[2] = {id, n};
+  const auto* hp = reinterpret_cast<const std::uint8_t*>(hdr);
+  buf_.insert(buf_.end(), hp, hp + sizeof(hdr));
+  words(w, n);
+}
+
 void WireWriter::append(const WireWriter& other) {
   buf_.insert(buf_.end(), other.buf_.begin(), other.buf_.end());
 }
 
 void WireWriter::sendFramed(WireFd& fd) const {
   const std::uint64_t len = buf_.size();
-  fd.writeAll(&len, sizeof(len));
-  if (len > 0) fd.writeAll(buf_.data(), buf_.size());
+  fd.writeAll2(&len, sizeof(len), buf_.data(), buf_.size());
 }
 
 WireReader WireReader::recvFramed(WireFd& fd) {
   std::uint64_t len = 0;
   fd.readAll(&len, sizeof(len));
-  // A legitimate frame serializes a subset of round state that already fits
-  // in the parent's memory; a length beyond this cap can only be a garbled
-  // prefix. Rejecting it keeps the failure a ShardError instead of a
-  // zero-filled overcommit allocation the OOM killer ends.
-  constexpr std::uint64_t kMaxFrameBytes = 1ull << 34;  // 16 GiB
   if (len > kMaxFrameBytes)
     throw ShardError("shard wire frame: implausible length (corrupt prefix)");
   WireReader r;
   r.buf_.resize(len);
   if (len > 0) fd.readAll(r.buf_.data(), len);
   return r;
+}
+
+WireReader WireReader::fromBytes(std::vector<std::uint8_t> bytes) {
+  WireReader r;
+  r.buf_ = std::move(bytes);
+  return r;
+}
+
+void WireReader::seek(std::size_t pos) {
+  if (pos > buf_.size()) throw ShardError("shard wire frame: seek past end");
+  pos_ = pos;
 }
 
 void WireReader::need(std::size_t n) const {

@@ -27,6 +27,12 @@ class ShardError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A legitimate frame serializes a subset of round state that already fits
+/// in the sending process's memory; a length beyond this cap can only be a
+/// garbled prefix. Both the coordinator wire and the worker mesh reject it
+/// as ShardError instead of attempting a zero-filled overcommit allocation.
+constexpr std::uint64_t kMaxFrameBytes = 1ull << 34;  // 16 GiB
+
 /// One end of a shard socketpair; owns and closes the fd.
 class WireFd {
  public:
@@ -55,6 +61,12 @@ class WireFd {
   void writeAll(const void* buf, std::size_t n);
   void readAll(void* buf, std::size_t n);
 
+  /// Gathered full send of two buffers (EINTR-safe, SIGPIPE suppressed):
+  /// one sendmsg covers header + body, so a frame that fits the socket
+  /// buffer costs one syscall instead of two writeAll round trips.
+  void writeAll2(const void* hdr, std::size_t nHdr, const void* body,
+                 std::size_t nBody);
+
  private:
   int fd_ = -1;
 };
@@ -72,13 +84,26 @@ class WireWriter {
   /// Raw byte append (re-scattering a slice another frame carried).
   void bytes(const std::uint8_t* p, std::size_t n);
 
+  /// One (a, b, payload-length) header triple plus the payload words — the
+  /// row format of the cross-shard sections — appended with two bulk
+  /// inserts instead of four per-field ones (the resident hot path).
+  void row(std::uint64_t a, std::uint64_t b, const Word* w, std::size_t n);
+  /// One (id, payload-length) header pair plus the payload words (the
+  /// two-field row of own-outbox / delivery sections).
+  void idRow(std::uint64_t id, const Word* w, std::size_t n);
+
   /// Appends another writer's buffer verbatim (used to concatenate
   /// per-destination fragments built in parallel).
   void append(const WireWriter& other);
 
-  std::size_t size() const { return buf_.size(); }
+  /// Pre-sizes the buffer for a frame whose byte length is known (or
+  /// bounded) upfront, so the hot row loops never reallocate mid-build.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
-  /// Sends `u64 length + body` as one frame.
+  std::size_t size() const { return buf_.size(); }
+  const std::uint8_t* data() const { return buf_.data(); }
+
+  /// Sends `u64 length + body` as one frame (one gathered syscall).
   void sendFramed(WireFd& fd) const;
 
  private:
@@ -89,6 +114,9 @@ class WireWriter {
 class WireReader {
  public:
   static WireReader recvFramed(WireFd& fd);
+  /// Wraps an already-received (or test-crafted) frame body; the mesh
+  /// exchange collects peer frames itself and hands the bytes here.
+  static WireReader fromBytes(std::vector<std::uint8_t> bytes);
 
   std::uint8_t u8();
   std::uint64_t u64();
@@ -103,6 +131,9 @@ class WireReader {
   /// Unread bytes left in the frame — lets callers sanity-check a
   /// wire-supplied element count before sizing containers by it.
   std::size_t remaining() const { return buf_.size() - pos_; }
+  /// Cursor save/restore for two-pass parses (vet + count, rewind, fill).
+  std::size_t pos() const { return pos_; }
+  void seek(std::size_t pos);
 
  private:
   void need(std::size_t n) const;

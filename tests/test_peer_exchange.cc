@@ -1,0 +1,427 @@
+// The worker-to-worker peer exchange: resident STEP rounds over the mesh
+// must be bit-identical to the coordinator-relay reference (rounds, ledger,
+// kernel state, resident inbox contents) across shard and thread counts on
+// all three topologies; a peer death mid-exchange surfaces ShardError for
+// everyone with no zombies and no partial inbox merge; and corrupt section
+// frames are rejected without integer overflow (WireReader / section-merge
+// hardening).
+#include "runtime/shard/peer_mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/round_engine.hpp"
+#include "runtime/shard/sharded_engine.hpp"
+#include "runtime/shard/wire.hpp"
+
+namespace mpcspan {
+namespace {
+
+using runtime::CliqueTopology;
+using runtime::Delivery;
+using runtime::EngineConfig;
+using runtime::KernelCtx;
+using runtime::KernelId;
+using runtime::Message;
+using runtime::MpcTopology;
+using runtime::PramTopology;
+using runtime::RoundEngine;
+using runtime::StepKernel;
+using runtime::Topology;
+using runtime::shard::mergeSectionRows;
+using runtime::shard::ShardError;
+using runtime::shard::WireReader;
+using runtime::shard::WireWriter;
+
+/// Deterministic cross-shard-heavy kernel: per-machine owned state feeds the
+/// next round's emissions, so any divergence in routing or merge order
+/// compounds across rounds instead of cancelling out. args[0] picks the
+/// topology-legal traffic shape.
+class MeshProbeKernel final : public StepKernel {
+ public:
+  static std::string kernelName() { return "test.meshprobe"; }
+
+  std::vector<Message> step(const KernelCtx& ctx) override {
+    ensureSized(ctx);
+    const Word mode = ctx.args.empty() ? 0 : ctx.args[0];
+    const std::size_t n = ctx.numMachines;
+    const std::size_t m = ctx.machine;
+    Word sum = 1;
+    for (const Delivery& d : ctx.inbox) sum += 3 * d.src + d.payload.front();
+    state_[m] += sum;
+    const Word r = ++round_[m];
+    std::vector<Message> out;
+    if (mode == 0) {
+      // MPC: mixed single-word (inline payload) and multi-word fan-out.
+      out.push_back({(m + r) % n, {state_[m], state_[m] ^ m, r}});
+      out.push_back({(m * 3 + 1) % n, {state_[m]}});
+      if (m % 2 == 0) out.push_back({(m + n - 1) % n, {r, static_cast<Word>(m)}});
+    } else if (mode == 1) {
+      // Clique: one single-word message per ordered pair.
+      out.push_back({(m + r) % n, {state_[m]}});
+    } else {
+      // PRAM: concurrent single-word writes, priority-CRCW resolved.
+      out.push_back({(m * 5 + r) % 4, {state_[m]}});
+    }
+    return out;
+  }
+
+  std::vector<Word> fetch(const KernelCtx& ctx) override {
+    ensureSized(ctx);
+    return {state_[ctx.machine], round_[ctx.machine]};
+  }
+
+ private:
+  void ensureSized(const KernelCtx& ctx) {
+    std::call_once(sized_, [&] {
+      state_.resize(ctx.numMachines);
+      round_.resize(ctx.numMachines);
+    });
+  }
+
+  std::once_flag sized_;
+  std::vector<Word> state_;
+  std::vector<Word> round_;
+};
+
+std::unique_ptr<Topology> makeTopology(int mode) {
+  if (mode == 0) return std::make_unique<MpcTopology>(64);
+  if (mode == 1) return std::make_unique<CliqueTopology>();
+  return std::make_unique<PramTopology>();
+}
+
+/// Everything observable after a kernel-round workload.
+struct Result {
+  std::vector<std::vector<Word>> fetched;
+  std::vector<Word> flatInboxes;
+  std::size_t rounds = 0, words = 0, maxRound = 0;
+
+  friend bool operator==(const Result&, const Result&) = default;
+};
+
+Result runWorkload(int mode, std::size_t threads, std::size_t shards,
+                   int peer) {
+  const std::size_t n = 12;
+  EngineConfig cfg{n, threads, shards, /*resident=*/1, /*peerExchange=*/peer};
+  RoundEngine eng(cfg, makeTopology(mode));
+  const KernelId k = eng.registerKernel(
+      MeshProbeKernel::kernelName(),
+      [] { return std::make_unique<MeshProbeKernel>(); });
+  for (int i = 0; i < 5; ++i) eng.step(k, {static_cast<Word>(mode)});
+  // One free data-placement round rides the same exchange machinery.
+  eng.stepShuffle(k, {static_cast<Word>(mode)});
+  Result res;
+  res.fetched = eng.fetchKernel(k);
+  for (const auto& inbox : eng.snapshotInboxes())
+    for (const Delivery& d : inbox) {
+      res.flatInboxes.push_back(d.src);
+      res.flatInboxes.insert(res.flatInboxes.end(), d.payload.begin(),
+                             d.payload.end());
+    }
+  res.rounds = eng.rounds();
+  res.words = eng.totalWordsSent();
+  res.maxRound = eng.maxRoundWords();
+  return res;
+}
+
+TEST(PeerExchange, BitIdenticalToRelayAndInProcessOnAllTopologies) {
+  for (const int mode : {0, 1, 2}) {
+    const Result base = runWorkload(mode, 1, 1, 1);
+    EXPECT_EQ(base.rounds, 5u) << "mode " << mode;
+    for (const std::size_t shards : {2u, 3u, 4u})
+      for (const int peer : {0, 1})
+        EXPECT_EQ(base, runWorkload(mode, 1, shards, peer))
+            << "mode " << mode << ", " << shards << " shards, peer=" << peer;
+    EXPECT_EQ(base, runWorkload(mode, 2, 4, 1)) << "mode " << mode
+                                                << ", 2 threads x 4 shards";
+  }
+}
+
+TEST(PeerExchange, BackendSelectionFollowsConfigAndEnv) {
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2, 1, 1},
+                    std::make_unique<MpcTopology>(16));
+    EXPECT_TRUE(eng.peerMeshShards());
+  }
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2, 1, 0},
+                    std::make_unique<MpcTopology>(16));
+    EXPECT_FALSE(eng.peerMeshShards());
+  }
+  {
+    // The legacy fork-per-round backend never runs the mesh.
+    RoundEngine eng(EngineConfig{8, 1, 2, 0, 1},
+                    std::make_unique<MpcTopology>(16));
+    EXPECT_FALSE(eng.peerMeshShards());
+  }
+  ASSERT_EQ(::setenv("MPCSPAN_PEER_EXCHANGE", "0", 1), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2}, std::make_unique<MpcTopology>(16));
+    EXPECT_FALSE(eng.peerMeshShards());
+  }
+  ASSERT_EQ(::unsetenv("MPCSPAN_PEER_EXCHANGE"), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2}, std::make_unique<MpcTopology>(16));
+    EXPECT_TRUE(eng.peerMeshShards());
+  }
+}
+
+TEST(PeerExchange, CapacityAbortConsumesNoPeerDataAndKeepsWorkersAlive) {
+  // A validation failure aborts after the peer bytes moved but before any
+  // worker merged them: resident inboxes, kernel state, and the ledger must
+  // be exactly as before the aborted round, and the engine stays usable.
+  class Flooder final : public StepKernel {
+   public:
+    std::vector<Message> step(const KernelCtx& ctx) override {
+      if (!ctx.args.empty())
+        return {{0, {1, 2, 3, 4, 5}}};  // 8 machines x 5 words > cap 16
+      return {{(ctx.machine + 5) % ctx.numMachines, {ctx.machine + 7}}};
+    }
+  };
+  RoundEngine eng(EngineConfig{8, 1, 4, 1, 1},
+                  std::make_unique<MpcTopology>(16));
+  const KernelId k =
+      eng.registerKernel("test.flooder", [] { return std::make_unique<Flooder>(); });
+  eng.step(k);
+  const std::size_t wordsBefore = eng.totalWordsSent();
+  const auto inboxesBefore = eng.snapshotInboxes();
+  EXPECT_THROW(eng.step(k, {1}), CapacityError);
+  EXPECT_EQ(eng.rounds(), 1u);
+  EXPECT_EQ(eng.totalWordsSent(), wordsBefore);
+  const auto inboxesAfter = eng.snapshotInboxes();
+  ASSERT_EQ(inboxesBefore.size(), inboxesAfter.size());
+  for (std::size_t m = 0; m < inboxesBefore.size(); ++m) {
+    ASSERT_EQ(inboxesBefore[m].size(), inboxesAfter[m].size());
+    for (std::size_t i = 0; i < inboxesBefore[m].size(); ++i) {
+      EXPECT_EQ(inboxesBefore[m][i].src, inboxesAfter[m][i].src);
+      EXPECT_EQ(inboxesBefore[m][i].payload, inboxesAfter[m][i].payload);
+    }
+  }
+  eng.step(k);  // the workers survived the abort
+  EXPECT_EQ(eng.rounds(), 2u);
+}
+
+TEST(PeerExchange, KernelThrowAbortsBeforeAnyPeerByteMoves) {
+  // Phase-A failure: the coordinator's abort byte arrives before the mesh
+  // exchange starts, so the round dies with no section shipped anywhere.
+  class Thrower final : public StepKernel {
+   public:
+    std::vector<Message> step(const KernelCtx& ctx) override {
+      if (!ctx.args.empty() && ctx.machine == 5)
+        throw std::runtime_error("boom in shard");
+      return {{(ctx.machine + 3) % ctx.numMachines, {ctx.machine}}};
+    }
+  };
+  RoundEngine eng(EngineConfig{8, 1, 4, 1, 1},
+                  std::make_unique<MpcTopology>(32));
+  const KernelId k =
+      eng.registerKernel("test.thrower", [] { return std::make_unique<Thrower>(); });
+  eng.step(k);
+  EXPECT_THROW(eng.step(k, {1}), std::runtime_error);
+  EXPECT_EQ(eng.rounds(), 1u);
+  eng.step(k);
+  EXPECT_EQ(eng.rounds(), 2u);
+}
+
+TEST(PeerExchange, PeerDeathMidExchangeSurfacesShardErrorForAll) {
+  // The injected fault (MPCSPAN_TEST_PEER_DIE_SHARD, read at worker fork)
+  // kills shard 1 right after the phase-A go — mid mesh exchange from every
+  // peer's point of view. Every other worker must observe the dead peer on
+  // its mesh socket and exit, the engine must fail loudly (not hang), stay
+  // failed, and reap every worker — no zombies, no partial inbox merge.
+  ASSERT_EQ(::setenv("MPCSPAN_TEST_PEER_DIE_SHARD", "1", 1), 0);
+  std::vector<pid_t> pids;
+  {
+    RoundEngine eng(EngineConfig{8, 1, 4, 1, 1},
+                    std::make_unique<MpcTopology>(32));
+    const KernelId k = eng.registerKernel(
+        MeshProbeKernel::kernelName(),
+        [] { return std::make_unique<MeshProbeKernel>(); });
+    // Fork the workers on a round that does not reach the fault hook.
+    std::vector<std::vector<Message>> out(8);
+    out[0].push_back({7, {1}});
+    eng.exchange(std::move(out));
+    pids = eng.shardBackend()->workerPids();
+    ASSERT_EQ(pids.size(), 4u);
+    EXPECT_THROW(eng.step(k), ShardError);
+    EXPECT_THROW(eng.step(k), ShardError);  // the backend stays failed
+  }
+  ASSERT_EQ(::unsetenv("MPCSPAN_TEST_PEER_DIE_SHARD"), 0);
+  for (const pid_t pid : pids) {
+    int st = 0;
+    EXPECT_EQ(::waitpid(pid, &st, WNOHANG), -1) << "worker leaked: " << pid;
+    EXPECT_EQ(errno, ECHILD);
+  }
+}
+
+// --- The mesh transport itself, in-process. ---
+
+TEST(PeerMesh, LargeFrameFullDuplexExchangeCompletes) {
+  // Three "workers" (threads) exchange ~1.6 MB sections — far beyond any
+  // AF_UNIX socket buffer — all sending and receiving concurrently. The
+  // poll-multiplexed exchange must complete without any pairwise ordering
+  // (a naive blocking send-then-recv schedule deadlocks here).
+  constexpr std::size_t kWorkers = 3;
+  constexpr std::size_t kWords = 200000;
+  auto mesh = runtime::shard::makeMesh(kWorkers);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(kWorkers);
+  std::vector<std::vector<std::vector<Message>>> received(
+      kWorkers, std::vector<std::vector<Message>>(kWorkers));
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        std::vector<WireWriter> sections(kWorkers);
+        std::vector<std::uint64_t> counts(kWorkers, 0);
+        for (std::size_t t = 0; t < kWorkers; ++t) {
+          if (t == i) continue;
+          std::vector<Word> pay(kWords);
+          for (std::size_t w = 0; w < kWords; ++w) pay[w] = i * 1000 + t + w;
+          sections[t].row(i, t, pay.data(), pay.size());
+          counts[t] = 1;
+        }
+        auto frames =
+            runtime::shard::meshExchange(mesh[i], i, counts, sections);
+        for (std::size_t t = 0; t < kWorkers; ++t) {
+          if (t == i) continue;
+          const std::uint64_t count = frames[t].u64();
+          ASSERT_EQ(count, 1u);
+          mergeSectionRows(frames[t], count, t, t + 1, i, i + 1, received[i]);
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    for (std::size_t t = 0; t < kWorkers; ++t) {
+      if (t == i) continue;
+      ASSERT_EQ(received[i][t].size(), 1u) << i << " <- " << t;
+      const Message& msg = received[i][t][0];
+      EXPECT_EQ(msg.dst, i);
+      ASSERT_EQ(msg.payload.size(), kWords);
+      EXPECT_EQ(msg.payload[0], t * 1000 + i);
+      EXPECT_EQ(msg.payload[kWords - 1], t * 1000 + i + kWords - 1);
+    }
+  }
+}
+
+// --- Corrupt section frames: rejected without integer overflow. ---
+
+WireReader toReader(const WireWriter& w) {
+  return WireReader::fromBytes(
+      std::vector<std::uint8_t>(w.data(), w.data() + w.size()));
+}
+
+TEST(PeerSectionParse, ImplausibleRowCountRejectedWithoutOverflow) {
+  std::vector<std::vector<Message>> projected(8);
+  WireReader empty = WireReader::fromBytes({});
+  EXPECT_THROW(mergeSectionRows(empty, ~std::uint64_t{0}, 0, 4, 4, 8, projected),
+               ShardError);
+  // A count whose byte requirement would wrap a 64-bit multiply.
+  WireWriter w;
+  w.u64(1);
+  WireReader r = toReader(w);
+  EXPECT_THROW(
+      mergeSectionRows(r, (~std::uint64_t{0}) / 8, 0, 4, 4, 8, projected),
+      ShardError);
+  for (const auto& rows : projected) EXPECT_TRUE(rows.empty());
+}
+
+TEST(PeerSectionParse, ImplausiblePayloadLengthRejectedWithoutOverflow) {
+  std::vector<std::vector<Message>> projected(8);
+  WireWriter w;
+  w.u64(0);                       // src
+  w.u64(4);                       // dst
+  w.u64(std::uint64_t{1} << 61);  // len: * sizeof(Word) would wrap
+  WireReader r = toReader(w);
+  EXPECT_THROW(mergeSectionRows(r, 1, 0, 4, 4, 8, projected), ShardError);
+  for (const auto& rows : projected) EXPECT_TRUE(rows.empty());
+}
+
+TEST(PeerSectionParse, RowOutOfRangeRejectedBeforeAnyRowLands) {
+  std::vector<std::vector<Message>> projected(8);
+  const Word payload = 42;
+  // First row valid, second row's src escapes the sender's shard range: the
+  // vet pass must reject the whole section before row one is consumed.
+  WireWriter w;
+  w.row(1, 5, &payload, 1);
+  w.row(6, 5, &payload, 1);
+  WireReader r = toReader(w);
+  EXPECT_THROW(mergeSectionRows(r, 2, 0, 4, 4, 8, projected), ShardError);
+  for (const auto& rows : projected) EXPECT_TRUE(rows.empty());
+
+  WireWriter w2;
+  w2.row(1, 2, &payload, 1);  // dst outside the receiver's range
+  WireReader r2 = toReader(w2);
+  EXPECT_THROW(mergeSectionRows(r2, 1, 0, 4, 4, 8, projected), ShardError);
+}
+
+TEST(PeerSectionParse, TruncatedRowRejected) {
+  std::vector<std::vector<Message>> projected(8);
+  const Word payload = 7;
+  WireWriter w;
+  w.row(0, 4, &payload, 1);
+  w.u64(1);  // a second row's src, then nothing
+  WireReader r = toReader(w);
+  EXPECT_THROW(mergeSectionRows(r, 2, 0, 4, 4, 8, projected), ShardError);
+  for (const auto& rows : projected) EXPECT_TRUE(rows.empty());
+}
+
+TEST(PeerSectionParse, ValidSectionMergesInRowOrder) {
+  std::vector<std::vector<Message>> projected(8);
+  const Word a[3] = {10, 11, 12};
+  const Word b = 20;
+  WireWriter w;
+  w.row(1, 6, a, 3);
+  w.row(1, 4, &b, 1);
+  w.row(3, 5, &b, 1);
+  WireReader r = toReader(w);
+  mergeSectionRows(r, 3, 0, 4, 4, 8, projected);
+  ASSERT_EQ(projected[1].size(), 2u);
+  EXPECT_EQ(projected[1][0].dst, 6u);
+  EXPECT_EQ(projected[1][0].payload, (std::vector<Word>{10, 11, 12}));
+  EXPECT_EQ(projected[1][1].dst, 4u);
+  ASSERT_EQ(projected[3].size(), 1u);
+  EXPECT_EQ(projected[3][0].dst, 5u);
+  EXPECT_TRUE(r.atEnd());
+}
+
+// --- WireReader hardening (the raw cursor under wire-supplied sizes). ---
+
+TEST(WireReader, WireSuppliedSizesCannotOverflow) {
+  WireWriter w;
+  w.u64(~std::uint64_t{0});  // a string/word-count length field of 2^64-1
+  {
+    WireReader r = toReader(w);
+    EXPECT_THROW(r.str(), ShardError);
+  }
+  {
+    WireReader r = toReader(w);
+    std::vector<Word> out(1);
+    (void)r.u64();
+    EXPECT_THROW(r.words(out.data(), ~std::uint64_t{0} / 2), ShardError);
+  }
+  {
+    WireReader r = WireReader::fromBytes({1, 2, 3});  // not even one u64
+    EXPECT_THROW(r.u64(), ShardError);
+  }
+  {
+    WireReader r = toReader(w);
+    EXPECT_THROW(r.seek(9), ShardError);
+    r.seek(8);
+    EXPECT_TRUE(r.atEnd());
+  }
+}
+
+}  // namespace
+}  // namespace mpcspan

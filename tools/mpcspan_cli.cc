@@ -103,7 +103,8 @@ int main(int argc, char** argv) {
       .flag("threads", "0", "stepping-pool lanes (0 = MPCSPAN_THREADS/hardware)")
       .flag("shards", "0",
             "simulator worker processes (0 = MPCSPAN_SHARDS, 1 = in-process; "
-            ">1 forks resident workers, MPCSPAN_RESIDENT=0 for fork-per-round)")
+            ">1 forks resident workers, MPCSPAN_RESIDENT=0 for fork-per-round, "
+            "MPCSPAN_PEER_EXCHANGE=0 for the coordinator-relay exchange)")
       .flag("seed", "1", "random seed")
       .flag("verify", "false", "audit stretch (sampled) before exiting")
       .flag("out", "", "write the spanner as an edge list to this path");
@@ -136,8 +137,11 @@ int main(int argc, char** argv) {
       std::fprintf(stdout, "simulator: %zu machines x %zu words, %zu shard(s)%s\n",
                    sim.numMachines(), sim.wordsPerMachine(), sim.numShards(),
                    sim.numShards() > 1
-                       ? (sim.residentShards() ? " (resident workers)"
-                                               : " (fork per round)")
+                       ? (sim.residentShards()
+                              ? (sim.peerMeshShards()
+                                     ? " (resident workers, peer mesh)"
+                                     : " (resident workers, coordinator relay)")
+                              : " (fork per round)")
                        : "");
       const DistSpannerResult r =
           algo == "dist-tradeoff"
