@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <numeric>
+#include <unordered_map>
 
 #include "graph/distance.hpp"
 #include "graph/generators.hpp"
@@ -178,15 +179,16 @@ BENCHMARK(BM_IterationRoundDispatch)
     ->Args({2, 0})
     ->Unit(benchmark::kMillisecond);
 
-/// The peer-mesh acceptance probe: exchange-heavy kernel rounds (every
+/// The transport acceptance probe: exchange-heavy kernel rounds (every
 /// machine ships one multi-word payload to every machine outside its own
 /// shard, distSort-phase / clique-label-round shaped traffic) at a fixed
-/// shard count, cross-shard sections routed worker-to-worker over the peer
-/// mesh vs relayed through the coordinator. The ledger is identical on both
-/// (asserted by test_peer_exchange); only where the bytes travel differs —
-/// the peer mesh must make round throughput scale with per-shard traffic,
-/// not total traffic. arg0 = shards (1 = the in-process reference),
-/// arg1 = 1 peer mesh / 0 coordinator relay.
+/// shard count, cross-shard sections routed through the shared-memory
+/// rings vs the socket mesh vs the coordinator relay. The ledger and
+/// contents are identical on all three (asserted by test_peer_exchange /
+/// test_shm_exchange); only where the bytes travel differs — the shm ring
+/// must beat the socket mesh by cutting the kernel socket copies out of
+/// the payload path. arg0 = shards (1 = the in-process reference),
+/// arg1 = 2 shm ring / 1 socket mesh / 0 coordinator relay.
 void BM_CrossShardExchange(benchmark::State& state) {
   using namespace mpcspan::runtime;
   class AllToAllKernel final : public StepKernel {
@@ -203,18 +205,22 @@ void BM_CrossShardExchange(benchmark::State& state) {
     }
   };
   const auto shards = static_cast<std::size_t>(state.range(0));
-  const bool peer = state.range(1) != 0;
+  const Transport transport = state.range(1) == 2   ? Transport::kShmRing
+                              : state.range(1) == 1 ? Transport::kSocketMesh
+                                                    : Transport::kRelay;
   const std::size_t machines = 4 * shards;
   const std::size_t payloadWords = 256;
   EngineConfig cfg{machines, 1, shards, /*resident=*/1,
-                   /*peerExchange=*/peer ? 1 : 0};
+                   /*peerExchange=*/-1, transport};
   RoundEngine eng(cfg,
                   std::make_unique<MpcTopology>(machines * payloadWords));
   const KernelId k = eng.registerKernel(
       "bench.alltoall", [] { return std::make_unique<AllToAllKernel>(); });
   for (auto _ : state) eng.step(k, {payloadWords});
-  state.SetLabel(shards == 1 ? "in-process"
-                             : (peer ? "peer-mesh" : "coordinator-relay"));
+  state.SetLabel(shards == 1                          ? "in-process"
+                 : transport == Transport::kShmRing   ? "shm-ring"
+                 : transport == Transport::kSocketMesh ? "peer-mesh"
+                                                       : "coordinator-relay");
   // Cross-shard words moved per round (the traffic whose routing is probed).
   const std::size_t crossWords =
       shards == 1 ? 0 : machines * (machines - 4) * payloadWords;
@@ -223,12 +229,62 @@ void BM_CrossShardExchange(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CrossShardExchange)
+    ->Args({4, 2})
     ->Args({4, 1})
     ->Args({4, 0})
+    ->Args({2, 2})
     ->Args({2, 1})
     ->Args({2, 0})
-    ->Args({1, 1})
+    ->Args({1, 2})
     ->Unit(benchmark::kMicrosecond);
+
+/// The arena acceptance probe: BlockStore block churn shaped like the sort
+/// kernels' per-round traffic — every machine's block is cleared and
+/// refilled each "round", with the block capacity run recycled through the
+/// store's arena (vs the per-block heap vector the store used before).
+/// arg0 = 1 arena-backed store / 0 plain heap vectors.
+void BM_ArenaBlockChurn(benchmark::State& state) {
+  using namespace mpcspan::runtime;
+  const bool arenaBacked = state.range(0) != 0;
+  constexpr std::size_t kMachines = 64;
+  constexpr std::size_t kWords = 2048;
+  std::vector<Word> fill(kWords);
+  for (std::size_t i = 0; i < kWords; ++i) fill[i] = i * 2654435761u;
+  BlockStore store(kMachines);
+  // The pre-arena BlockStore: handles in an unordered_map, each block a
+  // bare std::vector<Word> that create() constructs and erase() frees.
+  std::unordered_map<int, std::vector<std::vector<Word>>> heapStore;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    if (arenaBacked) {
+      // Handle lifecycle churn (the growth driver emits into a fresh
+      // handle each iteration): erase recycles every block's run into the
+      // store's arena, create + append draws them straight back out.
+      store.create(1);
+      for (std::size_t m = 0; m < kMachines; ++m) {
+        WordBuf& b = store.block(1, m);
+        b.append(fill.data(), (m % 2) ? kWords : kWords / 2);
+        sink += b.data()[0] + b.size();
+      }
+      store.erase(1);
+    } else {
+      auto [it, _ins] = heapStore.emplace(
+          1, std::vector<std::vector<Word>>(kMachines));
+      for (std::size_t m = 0; m < kMachines; ++m) {
+        std::vector<Word>& b = it->second[m];  // fresh allocation each round
+        b.insert(b.end(), fill.begin(),
+                 fill.begin() + ((m % 2) ? kWords : kWords / 2));
+        sink += b.data()[0] + b.size();
+      }
+      heapStore.erase(it);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetLabel(arenaBacked ? "arena-blockstore" : "heap-vectors");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMachines));
+}
+BENCHMARK(BM_ArenaBlockChurn)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
 
 void BM_VerifyPairStretch(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

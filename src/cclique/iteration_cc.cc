@@ -75,7 +75,7 @@ class CliqueGrowthKernel final : public runtime::StepKernel {
     const ArgsView a = parseArgs(ctx);
     const std::size_t v = ctx.machine;
     if (v >= a.n) return {};
-    const std::vector<Word>& adj = ctx.store.block(ctx.args.at(1), v);
+    const runtime::WordBuf& adj = ctx.store.block(ctx.args.at(1), v);
     std::unordered_set<VertexId> sentTo;
     sentTo.reserve(adj.size() / kAdjWords);
     std::vector<runtime::Message> out;
@@ -114,7 +114,7 @@ class CliqueGrowthKernel final : public runtime::StepKernel {
             "CliqueGrowthKernel: empty label delivery");
       labels.emplace(static_cast<VertexId>(d.src), d.payload.front());
     }
-    const std::vector<Word>& adj = ctx.store.block(ctx.args.at(1), v);
+    const runtime::WordBuf& adj = ctx.store.block(ctx.args.at(1), v);
     for (std::size_t off = 0; off + kAdjWords <= adj.size(); off += kAdjWords) {
       const auto to = static_cast<VertexId>(adj[off]);
       const auto edge = static_cast<std::uint32_t>(adj[off + 1]);

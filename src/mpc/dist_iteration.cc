@@ -15,6 +15,9 @@ namespace {
 // cross into the shard workers by type and are default-constructed there
 // (see mpc/primitives.hpp and mpc/growth_kernels.hpp).
 struct CandByKey {
+  // Primary order is packed word 0 (CandTuple::key), ascending — lets the
+  // sort kernels run flat key passes (detail::PackedKeyWord).
+  static constexpr std::size_t kPackedKeyWord = 0;
   bool operator()(const CandTuple& a, const CandTuple& b) const {
     if (a.key != b.key) return a.key < b.key;
     return betterCand(a, b);

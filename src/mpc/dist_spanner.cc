@@ -32,6 +32,9 @@ struct PairBetter {
   }
 };
 struct PairByKey {
+  // Primary order is packed word 0 (PairTuple::key), ascending — lets the
+  // sort kernels run flat key passes (detail::PackedKeyWord).
+  static constexpr std::size_t kPackedKeyWord = 0;
   bool operator()(const PairTuple& a, const PairTuple& b) const {
     if (a.key != b.key) return a.key < b.key;
     return PairBetter{}(a, b);

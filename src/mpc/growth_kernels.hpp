@@ -86,11 +86,11 @@ class FilterScatterKernel final : public runtime::StepKernel {
     // ascending global index; concatenation is the machine's block.
     std::size_t total = 0;
     for (const runtime::Delivery& d : ctx.inbox) total += d.payload.size();
-    std::vector<Word>& block = ctx.store.block(ctx.args.at(1), ctx.machine);
+    runtime::WordBuf& block = ctx.store.block(ctx.args.at(1), ctx.machine);
     block.clear();
     block.reserve(total);
     for (const runtime::Delivery& d : ctx.inbox)
-      block.insert(block.end(), d.payload.begin(), d.payload.end());
+      block.append(d.payload.data(), d.payload.size());
   }
 
   std::vector<Word> fetch(const runtime::KernelCtx& ctx) override {

@@ -31,12 +31,16 @@ struct MpcConfig {
 class MpcSimulator {
  public:
   /// `threads` is forwarded to the round engine's stepping pool, `shards`
-  /// to its multi-process backend, and `resident` selects that backend's
+  /// to its multi-process backend, `resident` selects that backend's
   /// worker lifetime (1 resident, 0 legacy fork-per-round, -1 the
-  /// MPCSPAN_RESIDENT default; see runtime::EngineConfig). Results are
-  /// bit-identical for every thread, shard, and backend choice.
+  /// MPCSPAN_RESIDENT default; see runtime::EngineConfig), and `transport`
+  /// routes its cross-shard sections (kDefault resolves via
+  /// MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE). Results are
+  /// bit-identical for every thread, shard, backend, and transport choice.
   explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0,
-                        std::size_t shards = 0, int resident = -1);
+                        std::size_t shards = 0, int resident = -1,
+                        runtime::Transport transport =
+                            runtime::Transport::kDefault);
 
   std::size_t numMachines() const { return cfg_.numMachines; }
   std::size_t numShards() const { return engine_.numShards(); }
@@ -48,6 +52,10 @@ class MpcSimulator {
   /// worker-to-worker mesh (MPCSPAN_PEER_EXCHANGE=0 selects the
   /// coordinator-relay reference).
   bool peerMeshShards() const { return engine_.peerMeshShards(); }
+  /// True when the mesh sections move through shared-memory rings (the
+  /// default for resident meshes; MPCSPAN_SHM_EXCHANGE=0 selects the
+  /// socket-mesh reference).
+  bool shmRingShards() const { return engine_.shmRingShards(); }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
   std::size_t rounds() const { return engine_.rounds(); }

@@ -21,14 +21,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <typeinfo>
 #include <vector>
 
 #include "runtime/pack.hpp"
 #include "runtime/kernel.hpp"
+#include "runtime/simd.hpp"
 
 namespace mpcspan {
 
@@ -63,13 +66,34 @@ inline std::vector<Word> flatInbox(const runtime::KernelCtx& ctx) {
 }
 
 /// Reads one item out of a packed block without unpacking the rest (items
-/// occupy fixed wordsPerItem<T>() cells).
-template <typename T>
-T itemAt(const std::vector<Word>& block, std::size_t pos) {
+/// occupy fixed wordsPerItem<T>() cells). Works on any contiguous word
+/// container (std::vector<Word>, the arena-backed runtime::WordBuf).
+template <typename T, typename Words>
+T itemAt(const Words& block, std::size_t pos) {
   T item;
   std::memcpy(&item, block.data() + pos * wordsPerItem<T>(), sizeof(T));
   return item;
 }
+
+/// Opt-in comparator contract: `static constexpr std::size_t
+/// kPackedKeyWord` on a comparator promises that it orders items
+/// *primarily* by that unsigned word of the packed cell, ascending (key
+/// ties may be broken arbitrarily). Kernels then run flat key passes
+/// (runtime/simd.hpp) over the packed block instead of per-item memcpy
+/// probes, falling back to the full comparator only inside equal-key
+/// runs. std::less<> over single-word unsigned items makes the same
+/// promise by definition.
+template <typename T, typename Cmp, typename = void>
+struct PackedKeyWord {
+  static constexpr bool kAvailable =
+      std::is_same_v<T, Word> && std::is_same_v<Cmp, std::less<>>;
+  static constexpr std::size_t value = 0;
+};
+template <typename T, typename Cmp>
+struct PackedKeyWord<T, Cmp, std::void_t<decltype(Cmp::kPackedKeyWord)>> {
+  static constexpr bool kAvailable = true;
+  static constexpr std::size_t value = Cmp::kPackedKeyWord;
+};
 
 }  // namespace detail
 
@@ -103,7 +127,7 @@ class SortKernel final : public runtime::StepKernel {
     ensureState(ctx);
     switch (ctx.args.at(0)) {
       case kSortPhaseSortLocal: {
-        std::vector<Word>& block = ctx.store.block(ctx.args.at(1), ctx.machine);
+        runtime::WordBuf& block = ctx.store.block(ctx.args.at(1), ctx.machine);
         std::vector<T> items = unpackItems<T>(block);
         std::sort(items.begin(), items.end(), cmp_);
         block = packItems(items.data(), items.size());
@@ -129,8 +153,7 @@ class SortKernel final : public runtime::StepKernel {
 
   std::vector<runtime::Message> sample(const runtime::KernelCtx& ctx) {
     const std::size_t perMachineSamples = ctx.args.at(2);
-    const std::vector<Word>& block =
-        ctx.store.block(ctx.args.at(1), ctx.machine);
+    const runtime::WordBuf& block = ctx.store.block(ctx.args.at(1), ctx.machine);
     const std::size_t count = block.size() / wordsPerItem<T>();
     if (count == 0) return {};
     // Uniform random positions, seeded per machine: deterministic per-shard
@@ -209,13 +232,24 @@ class SortKernel final : public runtime::StepKernel {
   std::vector<runtime::Message> route(const runtime::KernelCtx& ctx) {
     absorbSplitters(ctx);
     const std::vector<T>& splitters = splitters_[ctx.machine];
-    const std::vector<Word>& block =
-        ctx.store.block(ctx.args.at(1), ctx.machine);
+    const runtime::WordBuf& block = ctx.store.block(ctx.args.at(1), ctx.machine);
     constexpr std::size_t wpi = wordsPerItem<T>();
     const std::size_t count = block.size() / wpi;
     // The block is sorted and packed in fixed-width cells, so each run is a
-    // contiguous word slice: binary-search the boundaries in place and ship
-    // the slices without an unpack/repack round trip.
+    // contiguous word slice: find the boundaries in place and ship the
+    // slices without an unpack/repack round trip. When the comparator
+    // exposes its packed key word, the keys come out in one vectorized
+    // gather and each bound is a flat-array scan; the full comparator is
+    // only consulted inside the splitter's equal-key run (it may break key
+    // ties). Both paths compute the same upper bound.
+    constexpr bool kFlatKeys = detail::PackedKeyWord<T, Cmp>::kAvailable;
+    std::vector<Word> keys;
+    if constexpr (kFlatKeys) {
+      keys.resize(count);
+      runtime::simd::gatherStride(block.data(),
+                                  detail::PackedKeyWord<T, Cmp>::value, wpi,
+                                  count, keys.data());
+    }
     std::vector<runtime::Message> out;
     std::size_t begin = 0;
     for (std::size_t j = 0; j <= splitters.size(); ++j) {
@@ -225,6 +259,13 @@ class SortKernel final : public runtime::StepKernel {
       } else {
         // upper_bound: first index whose item compares after splitters[j].
         std::size_t lo = begin, hi = count;
+        if constexpr (kFlatKeys) {
+          Word cell[wpi] = {};
+          std::memcpy(cell, &splitters[j], sizeof(T));
+          const Word sk = cell[detail::PackedKeyWord<T, Cmp>::value];
+          lo = runtime::simd::lowerBoundFrom(keys.data(), begin, count, sk);
+          hi = runtime::simd::upperBoundFrom(keys.data(), lo, count, sk);
+        }
         while (lo < hi) {
           const std::size_t mid = lo + (hi - lo) / 2;
           if (cmp_(splitters[j], detail::itemAt<T>(block, mid)))
@@ -277,16 +318,28 @@ class SegMinKernel final : public runtime::StepKernel {
     switch (ctx.args.at(0)) {
       case kSegPhaseReduce: {
         // Local reduce (free): one representative per key per machine.
+        // Restructured as flat passes over the contiguous block: extract
+        // every key (keyOf_ is a stateless inlined functor, so this loop
+        // autovectorizes), find run starts with the vectorized
+        // neighbour-compare, then take each run's minimum — instead of a
+        // branch-per-item append loop.
         std::vector<T>& red = reduced_[ctx.machine];
         red.clear();
         const std::vector<T> items =
             unpackItems<T>(ctx.store.block(ctx.args.at(1), ctx.machine));
-        for (const T& item : items) {
-          if (!red.empty() && keyOf_(red.back()) == keyOf_(item)) {
-            if (better_(item, red.back())) red.back() = item;
-          } else {
-            red.push_back(item);
-          }
+        std::vector<Word> keys(items.size());
+        for (std::size_t i = 0; i < items.size(); ++i) keys[i] = keyOf_(items[i]);
+        std::vector<std::uint32_t> starts;
+        runtime::simd::runStarts(keys.data(), keys.size(), starts);
+        red.reserve(starts.size());
+        for (std::size_t r = 0; r < starts.size(); ++r) {
+          const std::size_t b = starts[r];
+          const std::size_t e =
+              r + 1 < starts.size() ? starts[r + 1] : items.size();
+          T best = items[b];
+          for (std::size_t i = b + 1; i < e; ++i)
+            if (better_(items[i], best)) best = items[i];
+          red.push_back(best);
         }
         break;
       }
@@ -398,6 +451,10 @@ class SegMinKernel final : public runtime::StepKernel {
   void apply(const runtime::KernelCtx& ctx) {
     // Apply fixes (local compute): the single local copy of the key is
     // replaced by the winner on exactly one machine and dropped elsewhere.
+    // reduced_ inherits the block's order, and segmentedMinSorted's
+    // contract is key-sorted (ascending) input with one representative per
+    // key after the reduce — so the lookup is a binary search, not the
+    // former linear scan per fix-up.
     const std::vector<Word> fw = detail::flatInbox(ctx);
     const std::size_t frec = 2 + wordsPerItem<T>();
     std::vector<T>& red = reduced_[ctx.machine];
@@ -406,14 +463,15 @@ class SegMinKernel final : public runtime::StepKernel {
       const bool keep = fw[off + 1] != 0;
       T winner;
       std::memcpy(&winner, fw.data() + off + 2, sizeof(T));
-      for (std::size_t idx = 0; idx < red.size(); ++idx)
-        if (keyOf_(red[idx]) == key) {
-          if (keep)
-            red[idx] = winner;
-          else
-            red.erase(red.begin() + static_cast<std::ptrdiff_t>(idx));
-          break;
-        }
+      const auto it = std::lower_bound(
+          red.begin(), red.end(), key,
+          [this](const T& a, std::uint64_t k) { return keyOf_(a) < k; });
+      if (it != red.end() && keyOf_(*it) == key) {
+        if (keep)
+          *it = winner;
+        else
+          red.erase(it);
+      }
     }
   }
 

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/arena.hpp"
 #include "runtime/types.hpp"
 
 namespace mpcspan::runtime {
@@ -48,12 +49,24 @@ struct KernelId {
 /// (RoundEngine::createBlocks) and are dense vectors over all machines —
 /// a worker simply leaves the blocks outside its range empty.
 ///
+/// Ownership: every block is an arena-backed WordBuf drawing from the
+/// store's private Arena. The store owns the words for as long as the
+/// handle lives — kernels get a reference via block(), may resize/rewrite
+/// it freely, and must never retain the data pointer across a round (a
+/// regrow moves the words to a different arena run). erase()/clear()
+/// recycle the runs inside the arena; the arena itself lives exactly as
+/// long as the store, so no block reference can outlive its memory.
+///
 /// Thread-safety: create/erase only between parallel phases (the engine's
 /// frame handling is single-threaded); block() for *distinct* machines is
-/// safe from concurrent kernel steps because lookups never rehash.
+/// safe from concurrent kernel steps because lookups never rehash, and
+/// concurrent regrows are safe because the arena is internally locked.
 class BlockStore {
  public:
   explicit BlockStore(std::size_t numMachines) : numMachines_(numMachines) {}
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
 
   std::size_t numMachines() const { return numMachines_; }
 
@@ -62,15 +75,19 @@ class BlockStore {
   void erase(std::uint64_t handle) { slots_.erase(handle); }
   void clear() { slots_.clear(); }
 
-  std::vector<Word>& block(std::uint64_t handle, std::size_t machine);
-  const std::vector<Word>& block(std::uint64_t handle, std::size_t machine) const;
+  WordBuf& block(std::uint64_t handle, std::size_t machine);
+  const WordBuf& block(std::uint64_t handle, std::size_t machine) const;
 
   /// Live handles in ascending order (snapshot adoption at worker fork).
   std::vector<std::uint64_t> handles() const;
 
+  /// Words of arena memory backing all blocks (diagnostics / benches).
+  std::size_t arenaReservedWords() const { return arena_.reservedWords(); }
+
  private:
   std::size_t numMachines_;
-  std::unordered_map<std::uint64_t, std::vector<std::vector<Word>>> slots_;
+  Arena arena_;  // declared before slots_: blocks must die first
+  std::unordered_map<std::uint64_t, std::vector<WordBuf>> slots_;
 };
 
 /// Everything a kernel sees when stepping one machine. `inbox` is the

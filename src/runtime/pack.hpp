@@ -28,8 +28,10 @@ std::vector<Word> packItems(const T* items, std::size_t count) {
   return words;
 }
 
-template <typename T>
-std::vector<T> unpackItems(const std::vector<Word>& words) {
+/// Works on any contiguous word container (std::vector<Word>, the
+/// arena-backed runtime::WordBuf blocks) — only data()/size() are used.
+template <typename T, typename Words>
+std::vector<T> unpackItems(const Words& words) {
   const std::size_t count = words.size() / wordsPerItem<T>();
   std::vector<T> items(count);
   for (std::size_t i = 0; i < count; ++i)

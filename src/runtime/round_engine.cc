@@ -40,9 +40,15 @@ RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
     const bool peer = cfg.peerExchange < 0
                           ? shard::ShardedEngine::defaultPeerExchange()
                           : cfg.peerExchange != 0;
+    // An explicit transport wins; otherwise peerExchange=0 selects the
+    // relay and the ShardedEngine resolves kDefault between the two mesh
+    // kinds (MPCSPAN_SHM_EXCHANGE, default shm).
+    Transport transport = cfg.transport;
+    if (transport == Transport::kDefault && !peer)
+      transport = Transport::kRelay;
     shard_ = std::make_unique<shard::ShardedEngine>(
         numMachines_, shards, perShard, topology_.get(), resident, &kernels_,
-        &store_, &inboxes_, peer);
+        &store_, &inboxes_, transport);
   }
 }
 
@@ -58,6 +64,10 @@ bool RoundEngine::residentShards() const {
 
 bool RoundEngine::peerMeshShards() const {
   return shard_ && shard_->peerExchange();
+}
+
+bool RoundEngine::shmRingShards() const {
+  return shard_ && shard_->shmExchange();
 }
 
 std::vector<std::vector<Delivery>> RoundEngine::exchange(
@@ -320,7 +330,7 @@ std::vector<std::vector<Word>> RoundEngine::readBlocks(std::uint64_t handle) {
     return shard_->fetchBlocks(handle);
   std::vector<std::vector<Word>> out(numMachines_);
   for (std::size_t m = 0; m < numMachines_; ++m)
-    out[m] = store_.block(handle, m);
+    out[m] = store_.block(handle, m).toVector();
   return out;
 }
 

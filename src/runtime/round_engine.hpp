@@ -63,6 +63,11 @@ struct EngineConfig {
   /// default), 0 = coordinator relay (the bit-identical equivalence
   /// reference), -1 = the MPCSPAN_PEER_EXCHANGE env var (default peer).
   int peerExchange = -1;
+  /// Concrete transport override. kDefault resolves from `peerExchange`
+  /// first (0 -> kRelay) and then MPCSPAN_SHM_EXCHANGE between the two
+  /// mesh kinds (unset/1 -> kShmRing, 0 -> kSocketMesh). An explicit value
+  /// here wins over both knobs.
+  Transport transport = Transport::kDefault;
 };
 
 class RoundEngine {
@@ -77,8 +82,12 @@ class RoundEngine {
   /// resident backend selected).
   bool residentShards() const;
   /// True when resident kernel rounds route cross-shard sections over the
-  /// worker-to-worker mesh (false: coordinator relay, or not sharded).
+  /// worker-to-worker mesh — either kind (false: coordinator relay, or not
+  /// sharded).
   bool peerMeshShards() const;
+  /// True when the mesh sections move through shared-memory rings (false:
+  /// socket mesh, relay, or not sharded).
+  bool shmRingShards() const;
   /// The multi-process backend, null when in-process (introspection: worker
   /// pids, shard ranges).
   const shard::ShardedEngine* shardBackend() const { return shard_.get(); }

@@ -198,7 +198,8 @@ std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
 
 void mergeSectionRows(WireReader& r, std::uint64_t count, std::size_t srcLo,
                       std::size_t srcHi, std::size_t dstLo, std::size_t dstHi,
-                      std::vector<std::vector<Message>>& projected) {
+                      std::vector<std::vector<Message>>& projected,
+                      Arena* arena) {
   // A row is at least three u64 headers; vet the count before any pass.
   if (count > r.remaining() / (3 * sizeof(std::uint64_t)))
     throw ShardError("shard wire frame: corrupt row count");
@@ -224,6 +225,13 @@ void mergeSectionRows(WireReader& r, std::uint64_t count, std::size_t srcLo,
     const std::uint64_t src = r.u64();
     const std::uint64_t dst = r.u64();
     const std::uint64_t len = r.u64();
+    if (arena != nullptr && len > 1) {
+      Word* run = arena->allocate(len);
+      r.words(run, len);
+      projected[src].push_back(
+          {static_cast<std::size_t>(dst), Payload::borrowed(run, len)});
+      continue;
+    }
     scratch.resize(len);
     r.words(scratch.data(), len);
     projected[src].push_back(

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/arena.hpp"
 #include "runtime/shard/wire.hpp"
 #include "runtime/types.hpp"
 
@@ -54,8 +55,16 @@ std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
 /// rewinds and fills the exactly-reserved vectors. A corrupt frame throws
 /// ShardError before any row is consumed; projected[] is only touched once
 /// the whole section has been vetted.
+///
+/// With a non-null `arena`, multi-word payloads are copied once from the
+/// frame into arena runs and delivered as Payload::borrowed — no per-row
+/// heap vector. The borrowed payloads are valid until the caller resets
+/// that arena (the resident workers double-buffer two delivery arenas and
+/// reset the incoming one at the top of each merge, so payloads installed
+/// in round N die when round N + 2 starts merging).
 void mergeSectionRows(WireReader& r, std::uint64_t count, std::size_t srcLo,
                       std::size_t srcHi, std::size_t dstLo, std::size_t dstHi,
-                      std::vector<std::vector<Message>>& projected);
+                      std::vector<std::vector<Message>>& projected,
+                      Arena* arena = nullptr);
 
 }  // namespace mpcspan::runtime::shard

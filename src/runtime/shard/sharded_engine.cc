@@ -1,5 +1,7 @@
 #include "runtime/shard/sharded_engine.hpp"
 
+#include <poll.h>
+#include <sched.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -11,6 +13,7 @@
 #include <utility>
 
 #include "runtime/shard/peer_mesh.hpp"
+#include "runtime/shard/shm_ring.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mpcspan::runtime::shard {
@@ -190,6 +193,22 @@ std::uint8_t classify(std::string& err) {
   }
 }
 
+/// Briefly spin-polls a wire for readability before the caller blocks on
+/// it. The fused shm barrier turns a round into pure hand-offs (reports
+/// up, one verdict byte down); letting each side stay runnable while the
+/// other finishes converts those hand-offs into cheap runqueue rotations
+/// instead of sleep/wake cycles — a woken sleeper preempts its waker, so
+/// blocking doubles the context switches per round. Bounded: an idle
+/// engine still parks in the normal blocking read.
+void spinAwaitReadable(int fd) {
+  constexpr int kBarrierSpins = 128;
+  for (int i = 0; i < kBarrierSpins; ++i) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 0) > 0) return;
+    ::sched_yield();
+  }
+}
+
 void writeReport(WireFd& fd, std::uint8_t kind, const std::string& err,
                  std::uint64_t words = 0) {
   WireWriter w;
@@ -253,13 +272,16 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
                              const std::vector<KernelRegistration>* kernels,
                              BlockStore* blocks,
                              const std::vector<std::vector<Delivery>>* inboxes,
-                             bool peerExchange)
+                             Transport transport)
     : numMachines_(numMachines),
       shards_(shards),
       threadsPerShard_(threadsPerShard == 0 ? 1 : threadsPerShard),
       topology_(topology),
       resident_(resident),
-      peer_(peerExchange),
+      transport_(transport == Transport::kDefault
+                     ? (defaultShmExchange() ? Transport::kShmRing
+                                             : Transport::kSocketMesh)
+                     : transport),
       kernels_(kernels),
       blocks_(blocks),
       inboxes_(inboxes) {
@@ -309,6 +331,12 @@ bool ShardedEngine::defaultPeerExchange() {
   return true;
 }
 
+bool ShardedEngine::defaultShmExchange() {
+  if (const char* env = std::getenv("MPCSPAN_SHM_EXCHANGE"))
+    return std::strtol(env, nullptr, 10) != 0;
+  return true;
+}
+
 std::vector<pid_t> ShardedEngine::workerPids() const {
   std::vector<pid_t> pids;
   pids.reserve(workers_.size());
@@ -335,7 +363,20 @@ void ShardedEngine::start() {
   // silently-held open socket. The coordinator closes the whole matrix when
   // this frame unwinds — it never touches a mesh byte.
   std::vector<std::vector<WireFd>> mesh;
-  if (resident_ && peer_) mesh = makeMesh(shards_);
+  if (resident_ && transport_ != Transport::kRelay) {
+    mesh = makeMesh(shards_);
+    if (transport_ == Transport::kShmRing) {
+      // The shared arena must also exist before the first fork (every
+      // worker inherits the one mapping); the mesh then only carries
+      // doorbell bytes. A host that cannot map POSIX shm (no /dev/shm)
+      // falls back to the socket mesh rather than failing the run.
+      try {
+        shmArena_ = std::make_unique<ShmArena>(shards_);
+      } catch (const ShardError&) {
+        transport_ = Transport::kSocketMesh;
+      }
+    }
+  }
   std::vector<Proc> procs =
       forkProcs(shards_, [this, &mesh](std::size_t s, WireFd& fd) {
         std::vector<WireFd> peers;
@@ -407,7 +448,9 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
   const std::size_t local = hi - lo;
   const bool priorityWrite =
       topology_->mode() == Topology::Mode::kPriorityWrite;
-  const bool peerMode = peer_ && !peers.empty();
+  const bool peerMode = transport_ != Transport::kRelay && !peers.empty();
+  const bool shmMode =
+      peerMode && transport_ == Transport::kShmRing && shmArena_ != nullptr;
   // Test-only fault injection: the named shard exits abnormally right after
   // the phase-A go, i.e. mid peer exchange from every peer's point of view.
   // Exercised by test_peer_exchange; never set outside tests.
@@ -433,6 +476,16 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
   std::vector<std::vector<Delivery>> inboxes(local);
   if (inboxes_ && inboxes_->size() == n)
     for (std::size_t i = 0; i < local; ++i) inboxes[i] = (*inboxes_)[lo + i];
+
+  // Double-buffered delivery arenas: the merged cross-shard payloads of
+  // round N live (Payload::borrowed) in deliveryArena[curArena] while the
+  // resident inboxes reference them; round N + 1 merges into the *other*
+  // arena after resetting it, so round N - 1's runs are freed wholesale
+  // with no per-payload bookkeeping. Own-shard messages (kernel-produced)
+  // stay heap/inline — only inbound rows are arena-backed. An aborted
+  // round never flips, so its half-filled arena is simply reset again.
+  Arena deliveryArena[2];
+  std::size_t curArena = 0;
 
   auto ensureInstance = [&](std::uint64_t id) -> StepKernel& {
     if (id >= kernels.size())
@@ -476,6 +529,7 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
 
   try {
     for (;;) {
+      if (shmMode) spinAwaitReadable(fd.fd());
       WireReader cmd = WireReader::recvFramed(fd);  // EOF -> ShardError below
       const std::uint8_t op = cmd.u8();
       switch (op) {
@@ -522,9 +576,17 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
           // any section leaves the worker.
           std::uint8_t kind = kOk;
           std::string err;
+          std::uint64_t words = 0;
           std::vector<std::vector<Message>> own(local);
           std::vector<WireWriter> sections(shards_);
           std::vector<std::uint64_t> counts(shards_, 0);
+          // Shm fused barrier: the report also carries this worker's
+          // contribution to every machine's inbound words, so the
+          // coordinator can run the receiver-side validation without a
+          // second barrier.
+          const bool wantSums =
+              shmMode && !freePlacement && topology_->needsInboundSums();
+          std::vector<std::uint64_t> recvWords(wantSums ? n : 0, 0);
           try {
             StepKernel& ker = ensureInstance(kid);
             pool.parallelFor(local, [&](std::size_t i) {
@@ -536,17 +598,94 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
                 if (msg.dst >= n)
                   throw std::invalid_argument(
                       "RoundEngine: message to unknown machine");
+                if (wantSums) recvWords[msg.dst] += msg.payload.size();
                 if (msg.dst >= lo && msg.dst < hi) continue;
                 const std::size_t t = shardOf(msg.dst);
                 sections[t].row(lo + i, msg.dst, msg.payload.data(),
                                 msg.payload.size());
                 ++counts[t];
               }
+            // Shm mode validates sources here, pre-exchange: `own` is the
+            // complete outbox set for [lo, hi), which is all the
+            // source-side half needs. The receive-side half runs at the
+            // coordinator over the summed report columns.
+            if (shmMode && !freePlacement)
+              words = topology_->validateSources(n, own, lo);
           } catch (...) {
             kind = classify(err);
             sections.assign(shards_, WireWriter());
             counts.assign(shards_, 0);
           }
+          if (shmMode) {
+            // Fused single barrier (shm ring only). Sections are
+            // pre-written into the rings and validation is already split
+            // around the report (sources here, inbound sums at the
+            // coordinator), so ONE report and ONE verdict byte cover the
+            // whole round: by the time the commit verdict arrives, every
+            // peer has pre-written its frames — reports precede the
+            // verdict, pre-writes precede the reports — and the
+            // post-verdict drain completes without ever blocking. An
+            // abort drains and discards, never touching resident state —
+            // the two-phase guarantee at half the barrier waves.
+            if (dieShard == static_cast<long>(s)) std::_Exit(4);
+            ShmSendState shmSend =
+                beginShmSend(*shmArena_, s, counts, sections, peers);
+            {
+              WireWriter r;
+              r.u8(kind);
+              if (kind == kOk) {
+                r.u64(words);
+                for (const std::uint64_t w : recvWords) r.u64(w);
+              } else {
+                r.str(err);
+              }
+              r.sendFramed(fd);
+            }
+            spinAwaitReadable(fd.fd());
+            WireReader v = WireReader::recvFramed(fd);
+            const bool commit = kind == kOk && v.u8() == kGo;
+            // Drain every peer frame on commit AND abort — the rings must
+            // be empty again before the next round's pre-write. A
+            // ShardError (peer death, garbled ring) exits the worker so
+            // the coordinator sees EOF and fails with it.
+            std::vector<WireReader> frames =
+                finishShmExchange(*shmArena_, peers, s, shmSend);
+            if (commit) {
+              std::vector<std::vector<Message>> projected(n);
+              for (std::size_t i = 0; i < local; ++i)
+                projected[lo + i] = std::move(own[i]);
+              Arena& mergeArena = deliveryArena[1 - curArena];
+              mergeArena.reset();
+              try {
+                for (std::size_t t = 0; t < shards_; ++t) {
+                  if (t == s) continue;
+                  const std::uint64_t count = frames[t].u64();
+                  mergeSectionRows(frames[t], count, shardBegin(t),
+                                   shardEnd(t), lo, hi, projected,
+                                   &mergeArena);
+                }
+              } catch (const ShardError&) {
+                throw;
+              } catch (const std::exception& e) {
+                // The round is already committed; a garbled frame here can
+                // only be transport corruption, so fail the backend.
+                throw ShardError(std::string("shm post-commit merge: ") +
+                                 e.what());
+              }
+              // The merge copied every inbound row out of the rings (ring
+              // bytes -> arena runs, the one copy on the whole path).
+              shmArena_->releaseInbound();
+              installDeliveries(
+                  indexByDst(projected, lo, hi,
+                             priorityWrite && !freePlacement),
+                  projected);
+              curArena = 1 - curArena;
+            } else {
+              shmArena_->releaseInbound();
+            }
+            break;
+          }
+
           if (peerMode) {
             // Peer exchange: the report is the whole phase-A upload — the
             // sections wait for the go byte and then travel the mesh.
@@ -585,7 +724,8 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
           std::vector<std::vector<Message>> projected(n);
           for (std::size_t i = 0; i < local; ++i)
             projected[lo + i] = std::move(own[i]);
-          std::uint64_t words = 0;
+          Arena& mergeArena = deliveryArena[1 - curArena];
+          mergeArena.reset();
           try {
             if (peerMode) {
               std::vector<WireReader> frames =
@@ -594,7 +734,7 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
                 if (t == s) continue;
                 const std::uint64_t count = frames[t].u64();
                 mergeSectionRows(frames[t], count, shardBegin(t), shardEnd(t),
-                                 lo, hi, projected);
+                                 lo, hi, projected, &mergeArena);
               }
             } else {
               for (std::size_t t = 0; t < shards_; ++t) {
@@ -602,7 +742,7 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
                 const std::uint64_t count = b.u64();
                 (void)b.u64();  // byte length (coordinator-side convenience)
                 mergeSectionRows(b, count, shardBegin(t), shardEnd(t), lo, hi,
-                                 projected);
+                                 projected, &mergeArena);
               }
             }
             if (!freePlacement)
@@ -620,10 +760,13 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
                                                     // received peer bytes
                                                     // are discarded unread
 
-          // Commit: install the deliveries into the resident inboxes.
+          // Commit: install the deliveries into the resident inboxes. The
+          // arena flip keeps this round's borrowed payloads alive until
+          // the round after next resets their buffer.
           installDeliveries(
               indexByDst(projected, lo, hi, priorityWrite && !freePlacement),
               projected);
+          curArena = 1 - curArena;
           break;
         }
 
@@ -636,13 +779,15 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
           std::uint8_t kind = kOk;
           std::string err;
           std::uint64_t words = 0;
+          Arena& mergeArena = deliveryArena[1 - curArena];
+          mergeArena.reset();
           try {
             parseRows<Message>(cmd, lo, hi, projected);
             // Inbound cross-shard rows: the section header's per-source
             // counts pre-reserve the projected rows, so a source fanning
             // many messages into this range never reallocates per delivery.
             const std::uint64_t count = cmd.u64();
-            mergeSectionRows(cmd, count, 0, n, lo, hi, projected);
+            mergeSectionRows(cmd, count, 0, n, lo, hi, projected, &mergeArena);
             words = topology_->validateSlice(n, projected, lo, hi);
           } catch (const ShardError&) {
             throw;
@@ -670,7 +815,10 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
           WireWriter body;
           for (const WireWriter& f : fragments) body.append(f);
           body.sendFramed(fd);
-          if (updateResident) installDeliveries(byDst, projected);
+          if (updateResident) {
+            installDeliveries(byDst, projected);
+            curArena = 1 - curArena;
+          }
           break;
         }
 
@@ -729,7 +877,7 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
               const std::uint64_t len = cmd.u64();
               if (len > cmd.remaining() / sizeof(Word))
                 throw ShardError("shard wire frame: corrupt block length");
-              std::vector<Word>& block = store.block(handle, m);
+              WordBuf& block = store.block(handle, m);
               block.resize(len);
               cmd.words(block.data(), len);
             }
@@ -750,7 +898,7 @@ void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
           try {
             WireWriter rows;
             for (std::size_t m = lo; m < hi; ++m) {
-              const std::vector<Word>& block = store.block(handle, m);
+              const WordBuf& block = store.block(handle, m);
               rows.u64(block.size());
               rows.words(block.data(), block.size());
             }
@@ -893,7 +1041,64 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
       f.sendFramed(w.fd);
     }
 
-    if (peer_) {
+    if (transport_ == Transport::kShmRing && shmArena_ != nullptr) {
+      // Shm ring: fused single barrier. Workers validate their own
+      // sources at phase A and pre-write their sections into the rings;
+      // each report carries the source verdict plus (for topologies with
+      // inbound budgets) this worker's per-destination word sums. The
+      // coordinator totals the sums, runs the receiver-side validation,
+      // and broadcasts the one commit/abort byte — two scheduling waves
+      // per round instead of four, and no worker ever waits on a frame
+      // mid-round: every pre-write precedes its report, so all frames
+      // exist before the verdict does.
+      const bool wantSums = !freePlacement && topology_->needsInboundSums();
+      std::vector<std::uint64_t> received(wantSums ? numMachines_ : 0, 0);
+      std::vector<Report> reports(shards_);
+      for (std::size_t s = 0; s < shards_; ++s) {
+        spinAwaitReadable(workers_[s].fd.fd());
+        WireReader r = WireReader::recvFramed(workers_[s].fd);
+        reports[s].kind = r.u8();
+        if (reports[s].kind == kOk) {
+          reports[s].words = r.u64();
+          if (wantSums)
+            for (std::size_t m = 0; m < numMachines_; ++m)
+              received[m] += r.u64();
+        } else {
+          reports[s].err = r.str();
+        }
+      }
+      std::size_t firstErr = reports.size();
+      for (std::size_t s = 0; s < reports.size(); ++s)
+        if (reports[s].kind != kOk) {
+          firstErr = s;
+          break;
+        }
+      std::uint8_t inKind = kOk;
+      std::string inErr;
+      if (firstErr == reports.size() && wantSums) {
+        try {
+          topology_->validateInbound(numMachines_, received);
+        } catch (...) {
+          inKind = classify(inErr);
+        }
+      }
+      const bool ok = firstErr == reports.size() && inKind == kOk;
+      for (Worker& w : workers_) {
+        WireWriter f;
+        f.u8(ok ? kGo : kAbort);
+        f.sendFramed(w.fd);
+      }
+      if (!ok) {
+        if (firstErr != reports.size())
+          rethrow(reports[firstErr].kind, reports[firstErr].err);
+        rethrow(inKind, inErr);
+      }
+      roundWords = 0;
+      for (const Report& rep : reports) roundWords += rep.words;
+      return;
+    }
+
+    if (transport_ != Transport::kRelay) {
       // Peer exchange: the coordinator is a pure barrier arbiter. Phase A
       // reports carry only verdicts — one abort byte kills the round for
       // all before any peer byte moves; on go the workers exchange their

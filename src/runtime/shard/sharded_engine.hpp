@@ -68,6 +68,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "runtime/kernel.hpp"
@@ -76,6 +77,8 @@
 #include "runtime/types.hpp"
 
 namespace mpcspan::runtime::shard {
+
+class ShmArena;
 
 class ShardedEngine {
  public:
@@ -86,16 +89,19 @@ class ShardedEngine {
   /// `threadsPerShard` is the lane count of each worker's local pool (>= 1).
   /// `shards` must be in [2, numMachines] — a single shard is RoundEngine's
   /// in-process path. `resident` selects the backend described above; false
-  /// keeps the fork-per-round snapshot dispatch. `peerExchange` selects the
-  /// worker-to-worker mesh for resident STEP rounds (default), false the
-  /// coordinator relay; irrelevant when `resident` is false.
+  /// keeps the fork-per-round snapshot dispatch. `transport` routes the
+  /// cross-shard sections of resident STEP rounds: kShmRing (shared-memory
+  /// rings, the doorbell mesh underneath — the default), kSocketMesh (the
+  /// PR-5 socket mesh, the bit-identical reference), kRelay (coordinator
+  /// relay); irrelevant when `resident` is false. kDefault here resolves to
+  /// defaultShmExchange()'s pick between the two mesh kinds.
   ShardedEngine(std::size_t numMachines, std::size_t shards,
                 std::size_t threadsPerShard, const Topology* topology,
                 bool resident = true,
                 const std::vector<KernelRegistration>* kernels = nullptr,
                 BlockStore* blocks = nullptr,
                 const std::vector<std::vector<Delivery>>* inboxes = nullptr,
-                bool peerExchange = true);
+                Transport transport = Transport::kDefault);
 
   /// Sends SHUTDOWN to every resident worker and reaps it (EINTR-safe);
   /// never throws, never leaks a zombie.
@@ -107,9 +113,19 @@ class ShardedEngine {
   std::size_t numShards() const { return shards_; }
   std::size_t threadsPerShard() const { return threadsPerShard_; }
   bool resident() const { return resident_; }
-  /// True when resident STEP rounds exchange cross-shard sections over the
-  /// worker-to-worker mesh (false: coordinator relay).
-  bool peerExchange() const { return resident_ && peer_; }
+  /// True when resident STEP rounds exchange cross-shard sections worker to
+  /// worker — over either mesh kind (false: coordinator relay).
+  bool peerExchange() const {
+    return resident_ && transport_ != Transport::kRelay;
+  }
+  /// The selected cross-shard section route (already resolved — never
+  /// kDefault).
+  Transport transport() const { return transport_; }
+  /// True when resident STEP rounds move sections through the shared-memory
+  /// rings (the doorbell mesh only carries wakeup bytes).
+  bool shmExchange() const {
+    return resident_ && transport_ == Transport::kShmRing;
+  }
   /// True once the resident workers have forked (they fork lazily, at the
   /// first round / kernel / block operation).
   bool started() const { return !workers_.empty(); }
@@ -192,6 +208,9 @@ class ShardedEngine {
   /// MPCSPAN_PEER_EXCHANGE env var: 0 selects the coordinator-relay STEP
   /// exchange; anything else (or unset) the worker-to-worker peer mesh.
   static bool defaultPeerExchange();
+  /// MPCSPAN_SHM_EXCHANGE env var: 0 selects the socket mesh for the peer
+  /// exchange; anything else (or unset) the shared-memory rings.
+  static bool defaultShmExchange();
 
  private:
   struct Worker {
@@ -228,8 +247,11 @@ class ShardedEngine {
   std::size_t threadsPerShard_;
   const Topology* topology_;
   bool resident_;
-  bool peer_;
+  Transport transport_;
   bool failed_ = false;
+  /// The pre-fork shared-memory arena (kShmRing only); inherited by every
+  /// worker's address space, coordinator-held for teardown.
+  std::unique_ptr<ShmArena> shmArena_;
   const std::vector<KernelRegistration>* kernels_;  // owner: RoundEngine
   BlockStore* blocks_;                              // owner: RoundEngine
   const std::vector<std::vector<Delivery>>* inboxes_;  // owner: RoundEngine

@@ -110,13 +110,29 @@ class WireWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Cursor over one received frame.
+/// Cursor over one received frame. Either owns its bytes (recvFramed /
+/// fromBytes) or is a non-owning view over bytes someone else owns
+/// (view — the shm ring hands out frames in place, so the merge path
+/// never copies them into a reader first). Same vetting either way.
 class WireReader {
  public:
   static WireReader recvFramed(WireFd& fd);
   /// Wraps an already-received (or test-crafted) frame body; the mesh
   /// exchange collects peer frames itself and hands the bytes here.
   static WireReader fromBytes(std::vector<std::uint8_t> bytes);
+  /// Non-owning view: the caller guarantees [p, p + n) outlives every read
+  /// (the shm exchange keeps the ring span reserved until the merge is
+  /// done — see ShmArena::releaseInbound).
+  static WireReader view(const std::uint8_t* p, std::size_t n);
+
+  WireReader() = default;
+  WireReader(const WireReader&) = delete;
+  WireReader& operator=(const WireReader&) = delete;
+  WireReader(WireReader&& o) noexcept { moveFrom(o); }
+  WireReader& operator=(WireReader&& o) noexcept {
+    if (this != &o) moveFrom(o);
+    return *this;
+  }
 
   std::uint8_t u8();
   std::uint64_t u64();
@@ -127,19 +143,32 @@ class WireReader {
   /// into the frame buffer (valid while this reader lives) — copy-free
   /// re-scattering.
   const std::uint8_t* raw(std::size_t n);
-  bool atEnd() const { return pos_ == buf_.size(); }
+  bool atEnd() const { return pos_ == size_; }
   /// Unread bytes left in the frame — lets callers sanity-check a
   /// wire-supplied element count before sizing containers by it.
-  std::size_t remaining() const { return buf_.size() - pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
   /// Cursor save/restore for two-pass parses (vet + count, rewind, fill).
   std::size_t pos() const { return pos_; }
   void seek(std::size_t pos);
 
  private:
   void need(std::size_t n) const;
+  void moveFrom(WireReader& o) noexcept {
+    buf_ = std::move(o.buf_);
+    view_ = o.view_;
+    data_ = view_ ? o.data_ : buf_.data();
+    size_ = o.size_;
+    pos_ = o.pos_;
+    o.data_ = nullptr;
+    o.size_ = o.pos_ = 0;
+    o.view_ = false;
+  }
 
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> buf_;   // backing storage (owned mode only)
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t pos_ = 0;
+  bool view_ = false;
 };
 
 }  // namespace mpcspan::runtime::shard

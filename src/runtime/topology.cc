@@ -80,4 +80,89 @@ std::size_t PramTopology::validateSlice(
   return sliceWords;
 }
 
+std::size_t Topology::validateSources(
+    std::size_t /*numMachines*/,
+    const std::vector<std::vector<Message>>& sliceOutboxes,
+    std::size_t /*begin*/) const {
+  // No source-side constraints by default — just the word count, so the
+  // per-slice sums still add up to validate()'s return.
+  std::size_t words = 0;
+  for (const std::vector<Message>& out : sliceOutboxes)
+    for (const Message& msg : out) words += msg.payload.size();
+  return words;
+}
+
+void Topology::validateInbound(
+    std::size_t /*numMachines*/,
+    const std::vector<std::uint64_t>& /*received*/) const {}
+
+std::size_t MpcTopology::validateSources(
+    std::size_t /*numMachines*/,
+    const std::vector<std::vector<Message>>& sliceOutboxes,
+    std::size_t begin) const {
+  std::size_t sliceWords = 0;
+  for (std::size_t i = 0; i < sliceOutboxes.size(); ++i) {
+    std::size_t sent = 0;
+    for (const Message& msg : sliceOutboxes[i]) sent += msg.payload.size();
+    if (sent > wordsPerMachine_)
+      throw CapacityError("machine " + std::to_string(begin + i) + " sends " +
+                          std::to_string(sent) + " words > capacity " +
+                          std::to_string(wordsPerMachine_));
+    sliceWords += sent;
+  }
+  return sliceWords;
+}
+
+void MpcTopology::validateInbound(
+    std::size_t numMachines, const std::vector<std::uint64_t>& received) const {
+  for (std::size_t m = 0; m < numMachines && m < received.size(); ++m)
+    if (received[m] > wordsPerMachine_)
+      throw CapacityError("machine " + std::to_string(m) + " receives " +
+                          std::to_string(received[m]) + " words > capacity " +
+                          std::to_string(wordsPerMachine_));
+}
+
+std::size_t CliqueTopology::validateSources(
+    std::size_t numMachines,
+    const std::vector<std::vector<Message>>& sliceOutboxes,
+    std::size_t begin) const {
+  // Identical checks to validateSlice — every clique constraint is
+  // already attributable to the source.
+  std::size_t sliceWords = 0;
+  std::vector<char> usedRow;
+  for (std::size_t i = 0; i < sliceOutboxes.size(); ++i) {
+    if (sliceOutboxes[i].empty()) continue;
+    usedRow.assign(numMachines, 0);
+    for (const Message& msg : sliceOutboxes[i]) {
+      if (msg.payload.size() != 1)
+        throw CapacityError(
+            "CongestedClique: a pair carries exactly one word per round, got " +
+            std::to_string(msg.payload.size()));
+      if (usedRow[msg.dst])
+        throw CapacityError("CongestedClique: pair (" +
+                            std::to_string(begin + i) + "," +
+                            std::to_string(msg.dst) +
+                            ") used twice in one round");
+      usedRow[msg.dst] = 1;
+      ++sliceWords;
+    }
+  }
+  return sliceWords;
+}
+
+std::size_t PramTopology::validateSources(
+    std::size_t /*numMachines*/,
+    const std::vector<std::vector<Message>>& sliceOutboxes,
+    std::size_t /*begin*/) const {
+  std::size_t sliceWords = 0;
+  for (const std::vector<Message>& out : sliceOutboxes)
+    for (const Message& msg : out) {
+      if (msg.payload.size() != 1)
+        throw CapacityError("PRAM: a memory cell holds one word, write of " +
+                            std::to_string(msg.payload.size()) + " words");
+      ++sliceWords;
+    }
+  return sliceWords;
+}
+
 }  // namespace mpcspan::runtime

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "runtime/types.hpp"
 
@@ -65,6 +67,34 @@ class Topology {
       const std::vector<std::vector<Message>>& outboxes, std::size_t begin,
       std::size_t end) const = 0;
 
+  /// Source-side half of validateSlice, over just the slice's own
+  /// complete outboxes (sliceOutboxes[i] = every message machine
+  /// begin + i sends; destinations already bounds-checked). Checks each
+  /// constraint attributable to those sources and returns the words they
+  /// send. Receiver-side constraints are covered by validateInbound()
+  /// over the cross-shard per-destination sums — together the two halves
+  /// check exactly what validateSlice checks. The split is what lets the
+  /// shm transport's fused barrier validate a round *before* any frame
+  /// is exchanged: sources are complete at phase A, and the inbound sums
+  /// ride the barrier report for the coordinator to total up.
+  virtual std::size_t validateSources(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& sliceOutboxes,
+      std::size_t begin) const;
+
+  /// True when the topology constrains per-machine *inbound* words; the
+  /// sharded engine then ships per-destination word sums with each
+  /// barrier report so the coordinator can run validateInbound().
+  virtual bool needsInboundSums() const { return false; }
+
+  /// Receiver-side half: received[m] = words delivered to machine m this
+  /// round, summed across every shard (same-shard deliveries included).
+  /// Throws CapacityError on a violation; the default has no receiver
+  /// constraints.
+  virtual void validateInbound(
+      std::size_t numMachines,
+      const std::vector<std::uint64_t>& received) const;
+
   virtual Mode mode() const { return Mode::kDeliverAll; }
 };
 
@@ -78,6 +108,14 @@ class MpcTopology final : public Topology {
   std::size_t validateSlice(std::size_t numMachines,
                             const std::vector<std::vector<Message>>& outboxes,
                             std::size_t begin, std::size_t end) const override;
+  std::size_t validateSources(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& sliceOutboxes,
+      std::size_t begin) const override;
+  bool needsInboundSums() const override { return true; }
+  void validateInbound(
+      std::size_t numMachines,
+      const std::vector<std::uint64_t>& received) const override;
 
  private:
   std::size_t wordsPerMachine_;
@@ -89,6 +127,10 @@ class CliqueTopology final : public Topology {
   std::size_t validateSlice(std::size_t numMachines,
                             const std::vector<std::vector<Message>>& outboxes,
                             std::size_t begin, std::size_t end) const override;
+  std::size_t validateSources(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& sliceOutboxes,
+      std::size_t begin) const override;
 };
 
 class PramTopology final : public Topology {
@@ -97,6 +139,10 @@ class PramTopology final : public Topology {
   std::size_t validateSlice(std::size_t numMachines,
                             const std::vector<std::vector<Message>>& outboxes,
                             std::size_t begin, std::size_t end) const override;
+  std::size_t validateSources(
+      std::size_t numMachines,
+      const std::vector<std::vector<Message>>& sliceOutboxes,
+      std::size_t begin) const override;
   Mode mode() const override { return Mode::kPriorityWrite; }
 };
 

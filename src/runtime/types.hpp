@@ -30,13 +30,23 @@ class CapacityError : public std::runtime_error {
 
 namespace runtime {
 
+/// Same-host transport of resident cross-shard traffic
+/// (EngineConfig::transport; resolved by RoundEngine before the backend is
+/// built, so ShardedEngine only ever sees a concrete choice).
+enum class Transport : int {
+  kDefault = -1,     ///< resolve from peerExchange + MPCSPAN_SHM_EXCHANGE
+  kRelay = 0,        ///< sections relayed through the coordinator
+  kSocketMesh = 1,   ///< worker-to-worker socketpair mesh
+  kShmRing = 2,      ///< shared-memory rings; mesh sockets carry doorbells
+};
+
 /// Message payload with a single-word fast path. Most traffic in the clique
 /// label rounds and the PRAM write rounds is exactly one word; storing it
 /// inline avoids a heap allocation per message (the constant-factor
 /// regression the flat pre-runtime delivery did not have). Longer payloads
-/// spill to a heap vector. The interface is the read-only slice the engine
-/// and the substrates need — payloads are built as std::vector<Word> (or an
-/// initializer list) and converted on construction.
+/// spill to a heap vector — or, for merged cross-shard rows, *borrow* words
+/// that a per-worker delivery arena owns (see Payload::borrowed), so the
+/// resident inbox stops paying one vector per row per round.
 class Payload {
  public:
   Payload() = default;
@@ -52,23 +62,66 @@ class Payload {
   }
   Payload(const Word* ws, std::size_t n) { assignAny(ws, n); }
 
-  Payload(const Payload&) = default;
-  Payload& operator=(const Payload&) = default;
+  /// Wraps `n` words owned by an external allocator without copying them.
+  /// The borrow is only as durable as the owner's memory: the sharded
+  /// engine hands out arena words that stay valid until the round that
+  /// *replaces* the inbox commits, which covers every legal access to a
+  /// resident inbox (kernels read ctx.inbox only inside the round). A
+  /// *copy* of a borrowed payload deep-copies to the heap — copies escape
+  /// the round (inbox snapshots, test captures), so they must not extend
+  /// the borrow. Single words still go inline.
+  static Payload borrowed(const Word* ws, std::size_t n) {
+    Payload p;
+    if (n <= 1) {
+      p.assign(ws, n);
+    } else {
+      p.ext_ = ws;
+      p.inline_ = n;
+      p.size_ = kExtTag;
+    }
+    return p;
+  }
+
+  Payload(const Payload& o) { *this = o; }
+  Payload& operator=(const Payload& o) {
+    if (this == &o) return *this;
+    if (o.size_ == kExtTag) {
+      heap_.assign(o.ext_, o.ext_ + o.inline_);
+      size_ = kHeapTag;
+      ext_ = nullptr;
+    } else {
+      inline_ = o.inline_;
+      size_ = o.size_;
+      heap_ = o.heap_;
+      ext_ = nullptr;
+    }
+    return *this;
+  }
   Payload(Payload&& o) noexcept
-      : inline_(o.inline_), size_(o.size_), heap_(std::move(o.heap_)) {
+      : inline_(o.inline_), size_(o.size_), heap_(std::move(o.heap_)),
+        ext_(o.ext_) {
     o.size_ = 0;
+    o.ext_ = nullptr;
   }
   Payload& operator=(Payload&& o) noexcept {
     inline_ = o.inline_;
     size_ = o.size_;
     heap_ = std::move(o.heap_);
+    ext_ = o.ext_;
     o.size_ = 0;
+    o.ext_ = nullptr;
     return *this;
   }
 
-  std::size_t size() const { return size_ == kHeapTag ? heap_.size() : size_; }
+  std::size_t size() const {
+    return size_ == kHeapTag   ? heap_.size()
+           : size_ == kExtTag ? static_cast<std::size_t>(inline_)
+                              : size_;
+  }
   bool empty() const { return size() == 0; }
-  const Word* data() const { return size_ == kHeapTag ? heap_.data() : &inline_; }
+  const Word* data() const {
+    return size_ == kHeapTag ? heap_.data() : size_ == kExtTag ? ext_ : &inline_;
+  }
   const Word* begin() const { return data(); }
   const Word* end() const { return data() + size(); }
   Word operator[](std::size_t i) const { return data()[i]; }
@@ -86,6 +139,7 @@ class Payload {
 
  private:
   static constexpr std::size_t kHeapTag = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kExtTag = static_cast<std::size_t>(-2);
 
   void assign(const Word* ws, std::size_t n) {  // n <= 1
     inline_ = n ? ws[0] : 0;
@@ -100,9 +154,10 @@ class Payload {
     }
   }
 
-  Word inline_ = 0;
+  Word inline_ = 0;  // the word itself, or the borrowed length (kExtTag)
   std::size_t size_ = 0;
   std::vector<Word> heap_;
+  const Word* ext_ = nullptr;  // borrowed words (kExtTag only)
 };
 
 /// A message from one machine to another within a single synchronous round.

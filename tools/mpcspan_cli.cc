@@ -105,6 +105,10 @@ int main(int argc, char** argv) {
             "simulator worker processes (0 = MPCSPAN_SHARDS, 1 = in-process; "
             ">1 forks resident workers, MPCSPAN_RESIDENT=0 for fork-per-round, "
             "MPCSPAN_PEER_EXCHANGE=0 for the coordinator-relay exchange)")
+      .flag("transport", "",
+            "cross-shard section route: shm (shared-memory rings, default), "
+            "socket (PR-5 socket mesh), relay (coordinator relay); empty = "
+            "MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE defaults")
       .flag("seed", "1", "random seed")
       .flag("verify", "false", "audit stretch (sampled) before exiting")
       .flag("out", "", "write the spanner as an edge list to this path");
@@ -128,19 +132,33 @@ int main(int argc, char** argv) {
       const auto k = static_cast<std::uint32_t>(args.getInt("k"));
       const auto t = static_cast<std::uint32_t>(args.getInt("t"));
       const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+      const std::string transportName = args.get("transport");
+      runtime::Transport transport = runtime::Transport::kDefault;
+      if (transportName == "shm")
+        transport = runtime::Transport::kShmRing;
+      else if (transportName == "socket")
+        transport = runtime::Transport::kSocketMesh;
+      else if (transportName == "relay")
+        transport = runtime::Transport::kRelay;
+      else if (!transportName.empty())
+        throw std::invalid_argument("unknown --transport: " + transportName);
       // Negative counts fall back to the defaults (0 = env var / hardware),
       // matching the env vars' own garbage handling.
       MpcSimulator sim(
           MpcConfig::forInput(8 * g.numEdges(), args.getDouble("gamma"), 3.0),
           static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("threads"))),
-          static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("shards"))));
+          static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("shards"))),
+          /*resident=*/-1, transport);
       std::fprintf(stdout, "simulator: %zu machines x %zu words, %zu shard(s)%s\n",
                    sim.numMachines(), sim.wordsPerMachine(), sim.numShards(),
                    sim.numShards() > 1
                        ? (sim.residentShards()
-                              ? (sim.peerMeshShards()
-                                     ? " (resident workers, peer mesh)"
-                                     : " (resident workers, coordinator relay)")
+                              ? (sim.shmRingShards()
+                                     ? " (resident workers, shm ring)"
+                                     : (sim.peerMeshShards()
+                                            ? " (resident workers, peer mesh)"
+                                            : " (resident workers, coordinator "
+                                              "relay)"))
                               : " (fork per round)")
                        : "");
       const DistSpannerResult r =
