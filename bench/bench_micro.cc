@@ -187,8 +187,10 @@ BENCHMARK(BM_IterationRoundDispatch)
 /// contents are identical on all three (asserted by test_peer_exchange /
 /// test_shm_exchange); only where the bytes travel differs — the shm ring
 /// must beat the socket mesh by cutting the kernel socket copies out of
-/// the payload path. arg0 = shards (1 = the in-process reference),
-/// arg1 = 2 shm ring / 1 socket mesh / 0 coordinator relay.
+/// the payload path, and the tcp-loopback axis prices the cross-machine
+/// transport against its same-host siblings. arg0 = shards (1 = the
+/// in-process reference), arg1 = 3 tcp mesh / 2 shm ring / 1 socket mesh /
+/// 0 coordinator relay.
 void BM_CrossShardExchange(benchmark::State& state) {
   using namespace mpcspan::runtime;
   class AllToAllKernel final : public StepKernel {
@@ -205,7 +207,8 @@ void BM_CrossShardExchange(benchmark::State& state) {
     }
   };
   const auto shards = static_cast<std::size_t>(state.range(0));
-  const Transport transport = state.range(1) == 2   ? Transport::kShmRing
+  const Transport transport = state.range(1) == 3   ? Transport::kTcp
+                              : state.range(1) == 2 ? Transport::kShmRing
                               : state.range(1) == 1 ? Transport::kSocketMesh
                                                     : Transport::kRelay;
   const std::size_t machines = 4 * shards;
@@ -218,6 +221,7 @@ void BM_CrossShardExchange(benchmark::State& state) {
       "bench.alltoall", [] { return std::make_unique<AllToAllKernel>(); });
   for (auto _ : state) eng.step(k, {payloadWords});
   state.SetLabel(shards == 1                          ? "in-process"
+                 : transport == Transport::kTcp       ? "tcp-loopback"
                  : transport == Transport::kShmRing   ? "shm-ring"
                  : transport == Transport::kSocketMesh ? "peer-mesh"
                                                        : "coordinator-relay");
@@ -229,9 +233,11 @@ void BM_CrossShardExchange(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CrossShardExchange)
+    ->Args({4, 3})
     ->Args({4, 2})
     ->Args({4, 1})
     ->Args({4, 0})
+    ->Args({2, 3})
     ->Args({2, 2})
     ->Args({2, 1})
     ->Args({2, 0})

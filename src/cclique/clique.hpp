@@ -24,11 +24,15 @@ namespace mpcspan {
 class CongestedClique {
  public:
   /// `threads` is forwarded to the round engine's stepping pool, `shards`
-  /// to its multi-process backend, and `resident` selects that backend's
+  /// to its multi-process backend, `resident` selects that backend's
   /// worker lifetime (1 resident, 0 legacy fork-per-round, -1 the
-  /// MPCSPAN_RESIDENT default; see runtime::EngineConfig).
+  /// MPCSPAN_RESIDENT default; see runtime::EngineConfig), and `transport`
+  /// routes its cross-shard sections (kDefault resolves via
+  /// MPCSPAN_TCP_EXCHANGE / MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE).
   explicit CongestedClique(std::size_t n, std::size_t threads = 0,
-                           std::size_t shards = 0, int resident = -1);
+                           std::size_t shards = 0, int resident = -1,
+                           runtime::Transport transport =
+                               runtime::Transport::kDefault);
 
   std::size_t numNodes() const { return n_; }
   std::size_t numShards() const { return engine_.numShards(); }

@@ -35,8 +35,9 @@ class MpcSimulator {
   /// worker lifetime (1 resident, 0 legacy fork-per-round, -1 the
   /// MPCSPAN_RESIDENT default; see runtime::EngineConfig), and `transport`
   /// routes its cross-shard sections (kDefault resolves via
-  /// MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE). Results are
-  /// bit-identical for every thread, shard, backend, and transport choice.
+  /// MPCSPAN_TCP_EXCHANGE / MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE).
+  /// Results are bit-identical for every thread, shard, backend, and
+  /// transport choice.
   explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0,
                         std::size_t shards = 0, int resident = -1,
                         runtime::Transport transport =
@@ -56,6 +57,9 @@ class MpcSimulator {
   /// default for resident meshes; MPCSPAN_SHM_EXCHANGE=0 selects the
   /// socket-mesh reference).
   bool shmRingShards() const { return engine_.shmRingShards(); }
+  /// True when the mesh is TCP, formed by rendezvous (MPCSPAN_TCP_EXCHANGE=1
+  /// or an explicit kTcp; cross-machine capable).
+  bool tcpMeshShards() const { return engine_.tcpMeshShards(); }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
   std::size_t rounds() const { return engine_.rounds(); }

@@ -41,8 +41,8 @@ RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
                           ? shard::ShardedEngine::defaultPeerExchange()
                           : cfg.peerExchange != 0;
     // An explicit transport wins; otherwise peerExchange=0 selects the
-    // relay and the ShardedEngine resolves kDefault between the two mesh
-    // kinds (MPCSPAN_SHM_EXCHANGE, default shm).
+    // relay and the ShardedEngine resolves kDefault among the mesh kinds
+    // (MPCSPAN_TCP_EXCHANGE first, then MPCSPAN_SHM_EXCHANGE, default shm).
     Transport transport = cfg.transport;
     if (transport == Transport::kDefault && !peer)
       transport = Transport::kRelay;
@@ -68,6 +68,10 @@ bool RoundEngine::peerMeshShards() const {
 
 bool RoundEngine::shmRingShards() const {
   return shard_ && shard_->shmExchange();
+}
+
+bool RoundEngine::tcpMeshShards() const {
+  return shard_ && shard_->tcpExchange();
 }
 
 std::vector<std::vector<Delivery>> RoundEngine::exchange(

@@ -64,9 +64,12 @@ struct EngineConfig {
   /// reference), -1 = the MPCSPAN_PEER_EXCHANGE env var (default peer).
   int peerExchange = -1;
   /// Concrete transport override. kDefault resolves from `peerExchange`
-  /// first (0 -> kRelay) and then MPCSPAN_SHM_EXCHANGE between the two
-  /// mesh kinds (unset/1 -> kShmRing, 0 -> kSocketMesh). An explicit value
-  /// here wins over both knobs.
+  /// first (0 -> kRelay), then MPCSPAN_TCP_EXCHANGE (1 -> kTcp), then
+  /// MPCSPAN_SHM_EXCHANGE between the two same-host mesh kinds (unset/1 ->
+  /// kShmRing, 0 -> kSocketMesh). An explicit value here wins over all
+  /// knobs. kTcp forms the mesh by rendezvous through an ephemeral
+  /// listener instead of fd inheritance, so its workers may also be remote
+  /// processes (MPCSPAN_TCP_REMOTE=1 + mpcspan_worker --connect).
   Transport transport = Transport::kDefault;
 };
 
@@ -88,6 +91,9 @@ class RoundEngine {
   /// True when the mesh sections move through shared-memory rings (false:
   /// socket mesh, relay, or not sharded).
   bool shmRingShards() const;
+  /// True when the mesh is TCP, formed by rendezvous (cross-machine
+  /// capable; false: same-host transports, relay, or not sharded).
+  bool tcpMeshShards() const;
   /// The multi-process backend, null when in-process (introspection: worker
   /// pids, shard ranges).
   const shard::ShardedEngine* shardBackend() const { return shard_.get(); }

@@ -13,13 +13,13 @@
 
 namespace mpcspan::runtime::shard {
 
-namespace {
-
 void setNonBlocking(const WireFd& fd) {
   const int flags = ::fcntl(fd.fd(), F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd.fd(), F_SETFL, flags | O_NONBLOCK) < 0)
     throw ShardError(std::string("peer mesh fcntl: ") + std::strerror(errno));
 }
+
+namespace {
 
 [[noreturn]] void peerDied(const char* what) {
   throw ShardError(std::string("peer shard worker died mid-exchange (") +
@@ -130,7 +130,8 @@ std::vector<std::vector<WireFd>> makeMesh(std::size_t count) {
 std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
                                      std::size_t self,
                                      const std::vector<std::uint64_t>& counts,
-                                     const std::vector<WireWriter>& sections) {
+                                     const std::vector<WireWriter>& sections,
+                                     int timeoutMs) {
   const std::size_t n = peers.size();
   std::vector<PeerOut> outs(n);
   std::vector<PeerIn> ins(n);
@@ -170,11 +171,15 @@ std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
       who.push_back(t);
     }
     if (pfds.empty()) break;
-    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    const int rc = ::poll(pfds.data(), pfds.size(), timeoutMs);
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw ShardError(std::string("peer mesh poll: ") + std::strerror(errno));
     }
+    if (rc == 0)
+      throw ShardError("peer mesh exchange timed out after " +
+                       std::to_string(timeoutMs) +
+                       " ms (peer hung or unreachable)");
     for (std::size_t i = 0; i < pfds.size(); ++i) {
       const std::size_t t = who[i];
       const short re = pfds[i].revents;

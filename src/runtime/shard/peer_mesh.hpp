@@ -27,6 +27,10 @@
 
 namespace mpcspan::runtime::shard {
 
+/// Switches a mesh fd to nonblocking mode (the mode meshExchange requires;
+/// also used on tcp mesh fds after their blocking handshake).
+void setNonBlocking(const WireFd& fd);
+
 /// Creates the full worker mesh: one nonblocking socketpair per unordered
 /// worker pair (count * (count - 1) / 2 pairs). mesh[a][b] is a's end of
 /// the (a, b) pair; the diagonal stays invalid. Must run before the first
@@ -43,10 +47,14 @@ std::vector<std::vector<WireFd>> makeMesh(std::size_t count);
 /// each positioned at its leading row count. A peer that dies mid-exchange
 /// (EOF, EPIPE, ECONNRESET) throws ShardError — the worker exits and the
 /// coordinator turns the dropped verdict into ShardError for everyone.
+/// timeoutMs bounds each poll wait (ShardError on expiry); same-host meshes
+/// pass -1 (peer death always surfaces as an fd event there), tcp meshes
+/// pass their channel deadline so a half-open remote cannot hang the round.
 std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
                                      std::size_t self,
                                      const std::vector<std::uint64_t>& counts,
-                                     const std::vector<WireWriter>& sections);
+                                     const std::vector<WireWriter>& sections,
+                                     int timeoutMs = -1);
 
 /// Merges `count` section rows (src, dst, len, words) into the projected
 /// round view: pass 1 vets every header (src in [srcLo, srcHi), dst in

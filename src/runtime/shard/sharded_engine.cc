@@ -1,7 +1,5 @@
 #include "runtime/shard/sharded_engine.hpp"
 
-#include <poll.h>
-#include <sched.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -13,40 +11,15 @@
 #include <utility>
 
 #include "runtime/shard/peer_mesh.hpp"
+#include "runtime/shard/protocol.hpp"
 #include "runtime/shard/shm_ring.hpp"
+#include "runtime/shard/tcp_transport.hpp"
+#include "runtime/shard/worker_loop.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mpcspan::runtime::shard {
 
 namespace {
-
-// Error kinds carried in a worker's report headers. The exception type
-// cannot cross the process boundary, so it travels as a tag and is re-thrown
-// coordinator-side.
-constexpr std::uint8_t kOk = 0;
-constexpr std::uint8_t kCapacityKind = 1;
-constexpr std::uint8_t kBoundsKind = 2;
-constexpr std::uint8_t kOtherKind = 3;
-constexpr std::uint8_t kRangeKind = 4;
-
-// Control-frame opcodes of the resident worker protocol (first byte of
-// every coordinator -> worker frame).
-constexpr std::uint8_t kOpExchange = 1;
-constexpr std::uint8_t kOpStep = 2;
-constexpr std::uint8_t kOpLocal = 3;
-constexpr std::uint8_t kOpFetchKernel = 4;
-constexpr std::uint8_t kOpRegisterKernel = 5;
-constexpr std::uint8_t kOpStoreBlocks = 6;
-constexpr std::uint8_t kOpFetchBlocks = 7;
-constexpr std::uint8_t kOpFreeBlocks = 8;
-constexpr std::uint8_t kOpFetchInboxes = 9;
-constexpr std::uint8_t kOpShutdown = 10;
-
-// Barrier verdicts (1-byte frame bodies). Only kGo commits; any other value
-// (including a stray opcode) reads as abort, so a desynced stream can never
-// be mistaken for a commit.
-constexpr std::uint8_t kAbort = 0;
-constexpr std::uint8_t kGo = 1;
 
 struct Proc {
   pid_t pid = -1;
@@ -126,144 +99,6 @@ void reapAll(std::vector<W>& procs, bool& anyCrashed) {
   }
 }
 
-/// Parses one shard's per-machine section of a frame into rows[m] for m in
-/// [lo, hi): a u64 count, then (u64 id, u64 len, len words) per row. Row is
-/// Message (id = dst) or Delivery (id = src). Wire-supplied sizes are vetted
-/// against the frame's remaining bytes before sizing any container, so a
-/// corrupt frame throws ShardError, never bad_alloc.
-template <class Row>
-void parseRows(WireReader& r, std::size_t lo, std::size_t hi,
-               std::vector<std::vector<Row>>& rows) {
-  std::vector<Word> scratch;
-  for (std::size_t m = lo; m < hi; ++m) {
-    const std::uint64_t count = r.u64();
-    // A row is at least two u64s.
-    if (count > r.remaining() / (2 * sizeof(std::uint64_t)))
-      throw ShardError("shard wire frame: corrupt row count");
-    rows[m].reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const std::uint64_t id = r.u64();
-      const std::uint64_t len = r.u64();
-      if (len > r.remaining() / sizeof(Word))
-        throw ShardError("shard wire frame: corrupt payload length");
-      scratch.resize(len);
-      r.words(scratch.data(), len);
-      rows[m].push_back(
-          {static_cast<std::size_t>(id), Payload(scratch.data(), len)});
-    }
-  }
-}
-
-/// Serializes one machine's section in the parseRows format.
-void writeRows(WireWriter& w, const std::vector<Message>& outbox) {
-  w.u64(outbox.size());
-  for (const Message& m : outbox)
-    w.idRow(m.dst, m.payload.data(), m.payload.size());
-}
-
-[[noreturn]] void rethrow(std::uint8_t kind, const std::string& msg) {
-  switch (kind) {
-    case kCapacityKind:
-      throw CapacityError(msg);
-    case kBoundsKind:
-      throw std::invalid_argument(msg);
-    case kRangeKind:
-      throw std::out_of_range(msg);
-    default:
-      throw std::runtime_error(msg);
-  }
-}
-
-/// Classifies an in-flight exception for the wire (the inverse of rethrow).
-std::uint8_t classify(std::string& err) {
-  try {
-    throw;
-  } catch (const CapacityError& e) {
-    err = e.what();
-    return kCapacityKind;
-  } catch (const std::invalid_argument& e) {
-    err = e.what();
-    return kBoundsKind;
-  } catch (const std::out_of_range& e) {
-    err = e.what();
-    return kRangeKind;
-  } catch (const std::exception& e) {
-    err = e.what();
-    return kOtherKind;
-  }
-}
-
-/// Briefly spin-polls a wire for readability before the caller blocks on
-/// it. The fused shm barrier turns a round into pure hand-offs (reports
-/// up, one verdict byte down); letting each side stay runnable while the
-/// other finishes converts those hand-offs into cheap runqueue rotations
-/// instead of sleep/wake cycles — a woken sleeper preempts its waker, so
-/// blocking doubles the context switches per round. Bounded: an idle
-/// engine still parks in the normal blocking read.
-void spinAwaitReadable(int fd) {
-  constexpr int kBarrierSpins = 128;
-  for (int i = 0; i < kBarrierSpins; ++i) {
-    pollfd p{fd, POLLIN, 0};
-    if (::poll(&p, 1, 0) > 0) return;
-    ::sched_yield();
-  }
-}
-
-void writeReport(WireFd& fd, std::uint8_t kind, const std::string& err,
-                 std::uint64_t words = 0) {
-  WireWriter w;
-  w.u8(kind);
-  if (kind == kOk)
-    w.u64(words);
-  else
-    w.str(err);
-  w.sendFramed(fd);
-}
-
-void writeArgs(WireWriter& w, const std::vector<Word>& args) {
-  w.u64(args.size());
-  w.words(args.data(), args.size());
-}
-
-std::vector<Word> readArgs(WireReader& r) {
-  const std::uint64_t argc = r.u64();
-  if (argc > r.remaining() / sizeof(Word))
-    throw ShardError("shard wire frame: corrupt arg count");
-  std::vector<Word> args(argc);
-  r.words(args.data(), argc);
-  return args;
-}
-
-/// Reference to one message of a projected round view, in global delivery
-/// order (source id, send position).
-struct Ref {
-  std::uint32_t src;
-  std::uint32_t pos;
-};
-
-/// Index pass over a projected view: per local destination d in [lo, hi),
-/// the refs of its deliveries in (src, pos) order — which *is* the
-/// in-process delivery order, because projection preserves each source's
-/// send-position order and the scan walks sources ascending. Under
-/// priority-write only the first ref per destination is kept.
-std::vector<std::vector<Ref>> indexByDst(
-    const std::vector<std::vector<Message>>& projected, std::size_t lo,
-    std::size_t hi, bool priorityWrite) {
-  std::vector<std::vector<Ref>> byDst(hi - lo);
-  for (std::size_t src = 0; src < projected.size(); ++src) {
-    const auto& outbox = projected[src];
-    for (std::size_t pos = 0; pos < outbox.size(); ++pos) {
-      const std::size_t d = outbox[pos].dst;
-      if (d < lo || d >= hi) continue;
-      auto& refs = byDst[d - lo];
-      if (priorityWrite && !refs.empty()) continue;
-      refs.push_back(
-          {static_cast<std::uint32_t>(src), static_cast<std::uint32_t>(pos)});
-    }
-  }
-  return byDst;
-}
-
 }  // namespace
 
 ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
@@ -279,8 +114,10 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
       topology_(topology),
       resident_(resident),
       transport_(transport == Transport::kDefault
-                     ? (defaultShmExchange() ? Transport::kShmRing
-                                             : Transport::kSocketMesh)
+                     ? (defaultTcpExchange()
+                            ? Transport::kTcp
+                            : (defaultShmExchange() ? Transport::kShmRing
+                                                    : Transport::kSocketMesh))
                      : transport),
       kernels_(kernels),
       blocks_(blocks),
@@ -296,19 +133,11 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
 ShardedEngine::~ShardedEngine() { shutdownWorkers(); }
 
 std::size_t ShardedEngine::shardBegin(std::size_t s) const {
-  // Same balanced contiguous split as ThreadPool's lane slices.
-  const std::size_t base = numMachines_ / shards_;
-  const std::size_t extra = numMachines_ % shards_;
-  return s * base + std::min(s, extra);
+  return shardRangeBegin(numMachines_, shards_, s);
 }
 
 std::size_t ShardedEngine::shardOf(std::size_t machine) const {
-  // Inverse of shardBegin: the first `extra` shards own base + 1 machines.
-  const std::size_t base = numMachines_ / shards_;
-  const std::size_t extra = numMachines_ % shards_;
-  const std::size_t split = extra * (base + 1);
-  return machine < split ? machine / (base + 1)
-                         : extra + (machine - split) / base;
+  return shardOfMachine(numMachines_, shards_, machine);
 }
 
 std::size_t ShardedEngine::defaultShards() {
@@ -337,6 +166,12 @@ bool ShardedEngine::defaultShmExchange() {
   return true;
 }
 
+bool ShardedEngine::defaultTcpExchange() {
+  if (const char* env = std::getenv("MPCSPAN_TCP_EXCHANGE"))
+    return std::strtol(env, nullptr, 10) != 0;
+  return false;
+}
+
 std::vector<pid_t> ShardedEngine::workerPids() const {
   std::vector<pid_t> pids;
   pids.reserve(workers_.size());
@@ -357,6 +192,10 @@ void ShardedEngine::start() {
     throw ShardError(
         "ShardedEngine: shard backend is down (a worker died earlier)");
   if (started()) return;
+  if (resident_ && transport_ == Transport::kTcp) {
+    startTcp();
+    return;
+  }
   // The peer mesh must exist before the first fork so every worker can
   // inherit its row; worker s keeps row s and drops every other row's fds
   // (both ends of foreign pairs), so a dead peer reads as EOF, never as a
@@ -386,16 +225,160 @@ void ShardedEngine::start() {
               for (WireFd& end : mesh[j]) end.reset();
           peers = std::move(mesh[s]);
         }
-        workerMain(s, fd, peers);
+        Channel ctrl(std::move(fd));
+        runSnapshotWorker(s, ctrl, peers, -1);
       });
   workers_.resize(shards_);
   for (std::size_t s = 0; s < shards_; ++s) {
     workers_[s].pid = procs[s].pid;
-    workers_[s].fd = std::move(procs[s].fd);
+    workers_[s].fd = Channel(std::move(procs[s].fd));
   }
   // The snapshot just adopted every block; drop the coordinator copies so a
   // later fetch can never read a stale one.
   if (blocks_) blocks_->clear();
+}
+
+void ShardedEngine::startTcp() {
+  const int deadline = defaultTcpTimeoutMs();
+  const bool remote = defaultTcpRemote();
+  TcpListener rendezvous(defaultTcpPort());
+  const std::uint64_t epoch = makeTcpEpoch();
+
+  // Local mode: fork one dialing worker per shard. The children carry the
+  // fork snapshot exactly like the socketpair path — only the *wires* are
+  // different. Remote mode forks nothing; every shard must be attached by
+  // `mpcspan_worker --connect host:port --shard k` within the deadline.
+  std::vector<pid_t> pids;
+  if (!remote) {
+    const std::uint16_t port = rendezvous.port();
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        rendezvous.reset();  // dialing children fail fast on ECONNREFUSED
+        for (const pid_t p : pids) {
+          int st = 0;
+          while (::waitpid(p, &st, 0) < 0 && errno == EINTR) {
+          }
+        }
+        throw ShardError("ShardedEngine: fork failed");
+      }
+      if (pid == 0) {
+        rendezvous.reset();  // the child dials; it must not hold the listener
+        try {
+          tcpWorkerMain(s, port, epoch, deadline);
+        } catch (...) {
+          std::_Exit(3);
+        }
+        std::_Exit(0);
+      }
+      pids.push_back(pid);
+    }
+  }
+
+  std::vector<Worker> workers(shards_);
+  std::vector<TcpPeerAddr> roster(shards_);
+  try {
+    // Collect one control hello per shard, in whatever order the dials
+    // land. Every vetting failure (bad magic/version, stale epoch, rogue
+    // shard id, duplicate) throws — a tcp rendezvous never limps along
+    // with a partial mesh.
+    for (std::size_t got = 0; got < shards_; ++got) {
+      Channel ch(rendezvous.accept(deadline), deadline);
+      const TcpHello hello = readControlHello(ch);
+      if (remote) {
+        // Remote attaches cannot know the epoch; they announce 0 and learn
+        // the real one from the roster. A nonzero value is a worker from
+        // some earlier (possibly dead) engine's rendezvous.
+        if (hello.epoch != 0)
+          throw ShardError(
+              "tcp rendezvous: hello from a stale epoch (a worker of a "
+              "previous engine dialed in)");
+      } else if (hello.epoch != epoch) {
+        throw ShardError(
+            "tcp rendezvous: hello epoch mismatch (stale or foreign dial)");
+      }
+      if (hello.shard >= shards_)
+        throw ShardError("tcp rendezvous: shard id " +
+                         std::to_string(hello.shard) + " out of range (" +
+                         std::to_string(shards_) + " shards)");
+      if (workers[hello.shard].fd.valid())
+        throw ShardError("tcp rendezvous: duplicate hello for shard " +
+                         std::to_string(hello.shard));
+      roster[hello.shard] = {
+          remote ? peerHostOf(ch.fd()) : std::string("127.0.0.1"),
+          hello.meshPort};
+      workers[hello.shard].pid =
+          remote ? -1 : pids[hello.shard];  // remote: not ours to reap
+      workers[hello.shard].fd = std::move(ch);
+    }
+    for (std::size_t s = 0; s < shards_; ++s)
+      sendRoster(workers[s].fd, epoch, roster);
+    if (remote)
+      for (std::size_t s = 0; s < shards_; ++s)
+        sendWorkerSetup(workers[s].fd, numMachines_, shards_, s,
+                        threadsPerShard_, *topology_, kernels_, blocks_,
+                        inboxes_);
+  } catch (...) {
+    // Unwind without zombies or hangs: closing the listener and every
+    // accepted control channel gives each worker EOF/ECONNREFUSED within
+    // its own deadline, then reap the locally forked ones.
+    rendezvous.reset();
+    for (Worker& w : workers) w.fd.reset();
+    for (const pid_t pid : pids) {
+      int st = 0;
+      while (::waitpid(pid, &st, 0) < 0 && errno == EINTR) {
+      }
+    }
+    throw;
+  }
+  workers_ = std::move(workers);
+  // The snapshot (fork or SETUP frame) just adopted every block; drop the
+  // coordinator copies so a later fetch can never read a stale one.
+  if (blocks_) blocks_->clear();
+}
+
+void ShardedEngine::tcpWorkerMain(std::size_t s, std::uint16_t port,
+                                  std::uint64_t epoch, int deadlineMs) {
+  TcpListener meshListener(0);
+  Channel ctrl(tcpConnect("127.0.0.1", port, deadlineMs), deadlineMs);
+  sendControlHello(ctrl, TcpHello{s, epoch, meshListener.port()});
+  const std::vector<TcpPeerAddr> roster = readRoster(ctrl, epoch, nullptr);
+  if (roster.size() != shards_)
+    throw ShardError("tcp roster: shard count mismatch");
+  std::vector<WireFd> peers =
+      formTcpMesh(s, epoch, meshListener, roster, deadlineMs);
+  meshListener.reset();
+  runSnapshotWorker(s, ctrl, peers, deadlineMs);
+}
+
+void ShardedEngine::runSnapshotWorker(std::size_t s, Channel& ctrl,
+                                      std::vector<WireFd>& peers,
+                                      int meshTimeoutMs) {
+  WorkerConfig cfg;
+  cfg.numMachines = numMachines_;
+  cfg.shards = shards_;
+  cfg.shard = s;
+  cfg.threads = threadsPerShard_;
+  cfg.topology = topology_;
+  cfg.transport = transport_;
+  cfg.shmArena = shmArena_.get();
+  cfg.meshTimeoutMs = meshTimeoutMs;
+  std::vector<KernelRegistration> kernels =
+      kernels_ ? *kernels_ : std::vector<KernelRegistration>{};
+  const std::size_t lo = shardBegin(s), hi = shardEnd(s);
+  BlockStore store(numMachines_);
+  if (blocks_) {
+    for (const std::uint64_t h : blocks_->handles()) {
+      store.create(h);
+      for (std::size_t m = lo; m < hi; ++m)
+        store.block(h, m) = blocks_->block(h, m);
+    }
+  }
+  std::vector<std::vector<Delivery>> inboxes(hi - lo);
+  if (inboxes_ && inboxes_->size() == numMachines_)
+    for (std::size_t i = 0; i < hi - lo; ++i) inboxes[i] = (*inboxes_)[lo + i];
+  runResidentWorker(cfg, ctrl, peers, std::move(kernels), store,
+                    std::move(inboxes));
 }
 
 void ShardedEngine::shutdownWorkers() noexcept {
@@ -438,537 +421,10 @@ auto ShardedEngine::guarded(Fn&& io) -> decltype(io()) {
 }
 
 // ---------------------------------------------------------------------------
-// Resident worker (child process).
-// ---------------------------------------------------------------------------
-
-void ShardedEngine::workerMain(std::size_t s, WireFd& fd,
-                               std::vector<WireFd>& peers) {
-  const std::size_t n = numMachines_;
-  const std::size_t lo = shardBegin(s), hi = shardEnd(s);
-  const std::size_t local = hi - lo;
-  const bool priorityWrite =
-      topology_->mode() == Topology::Mode::kPriorityWrite;
-  const bool peerMode = transport_ != Transport::kRelay && !peers.empty();
-  const bool shmMode =
-      peerMode && transport_ == Transport::kShmRing && shmArena_ != nullptr;
-  // Test-only fault injection: the named shard exits abnormally right after
-  // the phase-A go, i.e. mid peer exchange from every peer's point of view.
-  // Exercised by test_peer_exchange; never set outside tests.
-  long dieShard = -1;
-  if (const char* env = std::getenv("MPCSPAN_TEST_PEER_DIE_SHARD"))
-    dieShard = std::strtol(env, nullptr, 10);
-
-  // Worker-owned state, alive across rounds. The kernel table, block store,
-  // and closure-step inboxes registered before the fork arrive with the
-  // snapshot; everything later comes over the wire.
-  ThreadPool pool(threadsPerShard_);
-  std::vector<KernelRegistration> kernels =
-      kernels_ ? *kernels_ : std::vector<KernelRegistration>{};
-  std::vector<std::unique_ptr<StepKernel>> instances(kernels.size());
-  BlockStore store(n);
-  if (blocks_) {
-    for (const std::uint64_t h : blocks_->handles()) {
-      store.create(h);
-      for (std::size_t m = lo; m < hi; ++m)
-        store.block(h, m) = blocks_->block(h, m);
-    }
-  }
-  std::vector<std::vector<Delivery>> inboxes(local);
-  if (inboxes_ && inboxes_->size() == n)
-    for (std::size_t i = 0; i < local; ++i) inboxes[i] = (*inboxes_)[lo + i];
-
-  // Double-buffered delivery arenas: the merged cross-shard payloads of
-  // round N live (Payload::borrowed) in deliveryArena[curArena] while the
-  // resident inboxes reference them; round N + 1 merges into the *other*
-  // arena after resetting it, so round N - 1's runs are freed wholesale
-  // with no per-payload bookkeeping. Own-shard messages (kernel-produced)
-  // stay heap/inline — only inbound rows are arena-backed. An aborted
-  // round never flips, so its half-filled arena is simply reset again.
-  Arena deliveryArena[2];
-  std::size_t curArena = 0;
-
-  auto ensureInstance = [&](std::uint64_t id) -> StepKernel& {
-    if (id >= kernels.size())
-      throw std::runtime_error("ShardedEngine: unknown kernel id in worker");
-    if (!instances[id]) {
-      const KernelRegistration& reg = kernels[id];
-      KernelFactory factory = reg.factory;
-      if (!factory) {
-        const KernelFactory* global = findGlobalKernel(reg.name);
-        if (!global)
-          throw std::runtime_error(
-              "kernel '" + reg.name +
-              "' is not resolvable in the worker process: register it before "
-              "the engine's first round, or globally (GlobalKernelRegistrar) "
-              "so the fork inherits it");
-        factory = *global;
-      }
-      instances[id] = factory();
-      if (!instances[id])
-        throw std::runtime_error("kernel '" + reg.name +
-                                 "': factory returned null");
-    }
-    return *instances[id];
-  };
-
-  // Installs the committed deliveries of a projected round view into the
-  // resident inboxes, in (src, pos) order.
-  auto installDeliveries =
-      [&](const std::vector<std::vector<Ref>>& byDst,
-          std::vector<std::vector<Message>>& projected) {
-        std::vector<std::vector<Delivery>> next(local);
-        pool.parallelFor(local, [&](std::size_t i) {
-          const auto& refs = byDst[i];
-          next[i].reserve(refs.size());
-          for (const Ref& ref : refs)
-            next[i].push_back(
-                {ref.src, std::move(projected[ref.src][ref.pos].payload)});
-        });
-        inboxes = std::move(next);
-      };
-
-  try {
-    for (;;) {
-      if (shmMode) spinAwaitReadable(fd.fd());
-      WireReader cmd = WireReader::recvFramed(fd);  // EOF -> ShardError below
-      const std::uint8_t op = cmd.u8();
-      switch (op) {
-        case kOpShutdown:
-          return;
-
-        case kOpRegisterKernel: {
-          const std::uint64_t id = cmd.u64();
-          const std::string name = cmd.str();
-          std::uint8_t kind = kOk;
-          std::string err;
-          try {
-            if (id != kernels.size())
-              throw std::runtime_error(
-                  "ShardedEngine: kernel id out of order in worker");
-            // Append-only, even on failure: another worker may have
-            // resolved this id, so removing the slot would desync the id
-            // tables. A failed slot is inert — the coordinator tombstones
-            // the name, so no step can ever reference it.
-            kernels.push_back({name, KernelFactory{}});
-            instances.emplace_back();
-            ensureInstance(id);  // construct eagerly: fail at registration
-          } catch (...) {
-            kind = classify(err);
-          }
-          writeReport(fd, kind, err);
-          break;
-        }
-
-        case kOpStep: {
-          const std::uint64_t kid = cmd.u64();
-          // Data-placement shuffles reuse the whole STEP barrier; the flag
-          // only disables validation and the priority-write drop (free
-          // movement is deliver-all and never charged).
-          const bool freePlacement = cmd.u8() != 0;
-          const std::vector<Word> args = readArgs(cmd);
-
-          // Phase A: run the kernel over this shard's machines, keep the
-          // messages, and bucket every cross-shard one straight into its
-          // destination shard's section in one pass over the outboxes
-          // (rows land in (src asc, send-position asc) order because the
-          // scan walks machines ascending). This is the local validation
-          // gate: a kernel throw or a rogue destination is reported before
-          // any section leaves the worker.
-          std::uint8_t kind = kOk;
-          std::string err;
-          std::uint64_t words = 0;
-          std::vector<std::vector<Message>> own(local);
-          std::vector<WireWriter> sections(shards_);
-          std::vector<std::uint64_t> counts(shards_, 0);
-          // Shm fused barrier: the report also carries this worker's
-          // contribution to every machine's inbound words, so the
-          // coordinator can run the receiver-side validation without a
-          // second barrier.
-          const bool wantSums =
-              shmMode && !freePlacement && topology_->needsInboundSums();
-          std::vector<std::uint64_t> recvWords(wantSums ? n : 0, 0);
-          try {
-            StepKernel& ker = ensureInstance(kid);
-            pool.parallelFor(local, [&](std::size_t i) {
-              own[i] = ker.step(
-                  KernelCtx{lo + i, n, inboxes[i], args, store});
-            });
-            for (std::size_t i = 0; i < local; ++i)
-              for (const Message& msg : own[i]) {
-                if (msg.dst >= n)
-                  throw std::invalid_argument(
-                      "RoundEngine: message to unknown machine");
-                if (wantSums) recvWords[msg.dst] += msg.payload.size();
-                if (msg.dst >= lo && msg.dst < hi) continue;
-                const std::size_t t = shardOf(msg.dst);
-                sections[t].row(lo + i, msg.dst, msg.payload.data(),
-                                msg.payload.size());
-                ++counts[t];
-              }
-            // Shm mode validates sources here, pre-exchange: `own` is the
-            // complete outbox set for [lo, hi), which is all the
-            // source-side half needs. The receive-side half runs at the
-            // coordinator over the summed report columns.
-            if (shmMode && !freePlacement)
-              words = topology_->validateSources(n, own, lo);
-          } catch (...) {
-            kind = classify(err);
-            sections.assign(shards_, WireWriter());
-            counts.assign(shards_, 0);
-          }
-          if (shmMode) {
-            // Fused single barrier (shm ring only). Sections are
-            // pre-written into the rings and validation is already split
-            // around the report (sources here, inbound sums at the
-            // coordinator), so ONE report and ONE verdict byte cover the
-            // whole round: by the time the commit verdict arrives, every
-            // peer has pre-written its frames — reports precede the
-            // verdict, pre-writes precede the reports — and the
-            // post-verdict drain completes without ever blocking. An
-            // abort drains and discards, never touching resident state —
-            // the two-phase guarantee at half the barrier waves.
-            if (dieShard == static_cast<long>(s)) std::_Exit(4);
-            ShmSendState shmSend =
-                beginShmSend(*shmArena_, s, counts, sections, peers);
-            {
-              WireWriter r;
-              r.u8(kind);
-              if (kind == kOk) {
-                r.u64(words);
-                for (const std::uint64_t w : recvWords) r.u64(w);
-              } else {
-                r.str(err);
-              }
-              r.sendFramed(fd);
-            }
-            spinAwaitReadable(fd.fd());
-            WireReader v = WireReader::recvFramed(fd);
-            const bool commit = kind == kOk && v.u8() == kGo;
-            // Drain every peer frame on commit AND abort — the rings must
-            // be empty again before the next round's pre-write. A
-            // ShardError (peer death, garbled ring) exits the worker so
-            // the coordinator sees EOF and fails with it.
-            std::vector<WireReader> frames =
-                finishShmExchange(*shmArena_, peers, s, shmSend);
-            if (commit) {
-              std::vector<std::vector<Message>> projected(n);
-              for (std::size_t i = 0; i < local; ++i)
-                projected[lo + i] = std::move(own[i]);
-              Arena& mergeArena = deliveryArena[1 - curArena];
-              mergeArena.reset();
-              try {
-                for (std::size_t t = 0; t < shards_; ++t) {
-                  if (t == s) continue;
-                  const std::uint64_t count = frames[t].u64();
-                  mergeSectionRows(frames[t], count, shardBegin(t),
-                                   shardEnd(t), lo, hi, projected,
-                                   &mergeArena);
-                }
-              } catch (const ShardError&) {
-                throw;
-              } catch (const std::exception& e) {
-                // The round is already committed; a garbled frame here can
-                // only be transport corruption, so fail the backend.
-                throw ShardError(std::string("shm post-commit merge: ") +
-                                 e.what());
-              }
-              // The merge copied every inbound row out of the rings (ring
-              // bytes -> arena runs, the one copy on the whole path).
-              shmArena_->releaseInbound();
-              installDeliveries(
-                  indexByDst(projected, lo, hi,
-                             priorityWrite && !freePlacement),
-                  projected);
-              curArena = 1 - curArena;
-            } else {
-              shmArena_->releaseInbound();
-            }
-            break;
-          }
-
-          if (peerMode) {
-            // Peer exchange: the report is the whole phase-A upload — the
-            // sections wait for the go byte and then travel the mesh.
-            writeReport(fd, kind, err);
-          } else {
-            // Coordinator relay: sections ride the report, per peer shard t
-            // (ascending, skipping self): row count, raw byte length, rows.
-            // The byte length lets the coordinator re-scatter without
-            // walking rows.
-            WireWriter a;
-            a.u8(kind);
-            if (kind != kOk) {
-              a.str(err);
-            } else {
-              for (std::size_t t = 0; t < shards_; ++t) {
-                if (t == s) continue;
-                a.u64(counts[t]);
-                a.u64(sections[t].size());
-                a.append(sections[t]);
-              }
-            }
-            a.sendFramed(fd);
-          }
-
-          // Barrier: wait for the coordinator's verdict even after a local
-          // error (lockstep). Abort means no peer byte ever moved.
-          WireReader b = WireReader::recvFramed(fd);
-          if (kind != kOk || b.u8() != kGo) break;  // round aborted
-
-          if (peerMode && dieShard == static_cast<long>(s)) std::_Exit(4);
-
-          // Phase B: assemble the projected round view — own sources
-          // complete, inbound rows for everyone else, merged in ascending
-          // source-shard order — validate this machine range, report, and
-          // await the commit verdict.
-          std::vector<std::vector<Message>> projected(n);
-          for (std::size_t i = 0; i < local; ++i)
-            projected[lo + i] = std::move(own[i]);
-          Arena& mergeArena = deliveryArena[1 - curArena];
-          mergeArena.reset();
-          try {
-            if (peerMode) {
-              std::vector<WireReader> frames =
-                  meshExchange(peers, s, counts, sections);
-              for (std::size_t t = 0; t < shards_; ++t) {
-                if (t == s) continue;
-                const std::uint64_t count = frames[t].u64();
-                mergeSectionRows(frames[t], count, shardBegin(t), shardEnd(t),
-                                 lo, hi, projected, &mergeArena);
-              }
-            } else {
-              for (std::size_t t = 0; t < shards_; ++t) {
-                if (t == s) continue;
-                const std::uint64_t count = b.u64();
-                (void)b.u64();  // byte length (coordinator-side convenience)
-                mergeSectionRows(b, count, shardBegin(t), shardEnd(t), lo, hi,
-                                 projected, &mergeArena);
-              }
-            }
-            if (!freePlacement)
-              words = topology_->validateSlice(n, projected, lo, hi);
-          } catch (const ShardError&) {
-            throw;  // wire/mesh corruption or peer death: exit, the
-                    // coordinator sees EOF and fails the round for all
-          } catch (...) {
-            kind = classify(err);
-          }
-          writeReport(fd, kind, err, words);
-
-          WireReader c = WireReader::recvFramed(fd);
-          if (kind != kOk || c.u8() != kGo) break;  // round aborted;
-                                                    // received peer bytes
-                                                    // are discarded unread
-
-          // Commit: install the deliveries into the resident inboxes. The
-          // arena flip keeps this round's borrowed payloads alive until
-          // the round after next resets their buffer.
-          installDeliveries(
-              indexByDst(projected, lo, hi, priorityWrite && !freePlacement),
-              projected);
-          curArena = 1 - curArena;
-          break;
-        }
-
-        case kOpExchange: {
-          const bool updateResident = cmd.u8() != 0;
-          // The whole projected view arrives in one frame: own sources'
-          // outboxes (destinations already bounds-checked by the
-          // coordinator) plus inbound cross-shard rows.
-          std::vector<std::vector<Message>> projected(n);
-          std::uint8_t kind = kOk;
-          std::string err;
-          std::uint64_t words = 0;
-          Arena& mergeArena = deliveryArena[1 - curArena];
-          mergeArena.reset();
-          try {
-            parseRows<Message>(cmd, lo, hi, projected);
-            // Inbound cross-shard rows: the section header's per-source
-            // counts pre-reserve the projected rows, so a source fanning
-            // many messages into this range never reallocates per delivery.
-            const std::uint64_t count = cmd.u64();
-            mergeSectionRows(cmd, count, 0, n, lo, hi, projected, &mergeArena);
-            words = topology_->validateSlice(n, projected, lo, hi);
-          } catch (const ShardError&) {
-            throw;
-          } catch (...) {
-            kind = classify(err);
-          }
-          writeReport(fd, kind, err, words);
-
-          WireReader b = WireReader::recvFramed(fd);
-          if (kind != kOk || b.u8() != kGo) break;  // round aborted
-
-          // Commit: materialize this destination range, ship it back, and
-          // (for step-driven rounds) keep it resident too.
-          const std::vector<std::vector<Ref>> byDst =
-              indexByDst(projected, lo, hi, priorityWrite);
-          std::vector<WireWriter> fragments(local);
-          pool.parallelFor(local, [&](std::size_t i) {
-            WireWriter& w = fragments[i];
-            w.u64(byDst[i].size());
-            for (const Ref& ref : byDst[i]) {
-              const Payload& p = projected[ref.src][ref.pos].payload;
-              w.idRow(ref.src, p.data(), p.size());
-            }
-          });
-          WireWriter body;
-          for (const WireWriter& f : fragments) body.append(f);
-          body.sendFramed(fd);
-          if (updateResident) {
-            installDeliveries(byDst, projected);
-            curArena = 1 - curArena;
-          }
-          break;
-        }
-
-        case kOpLocal: {
-          const std::uint64_t kid = cmd.u64();
-          const std::vector<Word> args = readArgs(cmd);
-          std::uint8_t kind = kOk;
-          std::string err;
-          try {
-            StepKernel& ker = ensureInstance(kid);
-            pool.parallelFor(local, [&](std::size_t i) {
-              ker.local(KernelCtx{lo + i, n, inboxes[i], args, store});
-            });
-          } catch (...) {
-            kind = classify(err);
-          }
-          writeReport(fd, kind, err);
-          break;
-        }
-
-        case kOpFetchKernel: {
-          const std::uint64_t kid = cmd.u64();
-          const std::vector<Word> args = readArgs(cmd);
-          std::uint8_t kind = kOk;
-          std::string err;
-          std::vector<std::vector<Word>> out(local);
-          try {
-            StepKernel& ker = ensureInstance(kid);
-            pool.parallelFor(local, [&](std::size_t i) {
-              out[i] = ker.fetch(KernelCtx{lo + i, n, inboxes[i], args, store});
-            });
-          } catch (...) {
-            kind = classify(err);
-          }
-          WireWriter w;
-          w.u8(kind);
-          if (kind != kOk) {
-            w.str(err);
-          } else {
-            for (const std::vector<Word>& block : out) {
-              w.u64(block.size());
-              w.words(block.data(), block.size());
-            }
-          }
-          w.sendFramed(fd);
-          break;
-        }
-
-        case kOpStoreBlocks: {
-          const std::uint64_t handle = cmd.u64();
-          std::uint8_t kind = kOk;
-          std::string err;
-          try {
-            store.create(handle);
-            for (std::size_t m = lo; m < hi; ++m) {
-              const std::uint64_t len = cmd.u64();
-              if (len > cmd.remaining() / sizeof(Word))
-                throw ShardError("shard wire frame: corrupt block length");
-              WordBuf& block = store.block(handle, m);
-              block.resize(len);
-              cmd.words(block.data(), len);
-            }
-          } catch (const ShardError&) {
-            throw;
-          } catch (...) {
-            kind = classify(err);
-          }
-          writeReport(fd, kind, err);
-          break;
-        }
-
-        case kOpFetchBlocks: {
-          const std::uint64_t handle = cmd.u64();
-          std::uint8_t kind = kOk;
-          std::string err;
-          WireWriter w;
-          try {
-            WireWriter rows;
-            for (std::size_t m = lo; m < hi; ++m) {
-              const WordBuf& block = store.block(handle, m);
-              rows.u64(block.size());
-              rows.words(block.data(), block.size());
-            }
-            w.u8(kOk);
-            w.append(rows);
-          } catch (...) {
-            kind = classify(err);
-            w = WireWriter();
-            w.u8(kind);
-            w.str(err);
-          }
-          w.sendFramed(fd);
-          break;
-        }
-
-        case kOpFreeBlocks: {
-          const std::uint64_t handle = cmd.u64();
-          store.erase(handle);
-          writeReport(fd, kOk, std::string());
-          break;
-        }
-
-        case kOpFetchInboxes: {
-          WireWriter w;
-          for (const std::vector<Delivery>& inbox : inboxes) {
-            w.u64(inbox.size());
-            for (const Delivery& d : inbox) {
-              w.u64(d.src);
-              w.u64(d.payload.size());
-              w.words(d.payload.data(), d.payload.size());
-            }
-          }
-          w.sendFramed(fd);
-          break;
-        }
-
-        default:
-          throw std::runtime_error(
-              "ShardedEngine: unknown opcode in worker (protocol bug)");
-      }
-    }
-  } catch (const ShardError&) {
-    // Coordinator closed the wire (engine destroyed or died) — clean exit.
-    return;
-  }
-}
-
-// ---------------------------------------------------------------------------
 // Coordinator side.
 // ---------------------------------------------------------------------------
 
 namespace {
-
-/// One worker's {kind, words | error} report.
-struct Report {
-  std::uint8_t kind = kOk;
-  std::uint64_t words = 0;
-  std::string err;
-};
-
-Report readReport(WireFd& fd) {
-  WireReader r = WireReader::recvFramed(fd);
-  Report rep;
-  rep.kind = r.u8();
-  if (rep.kind == kOk)
-    rep.words = r.u64();
-  else
-    rep.err = r.str();
-  return rep;
-}
 
 /// Collects one report per worker, in shard order.
 template <class W>

@@ -72,6 +72,7 @@
 #include <vector>
 
 #include "runtime/kernel.hpp"
+#include "runtime/shard/transport.hpp"
 #include "runtime/shard/wire.hpp"
 #include "runtime/topology.hpp"
 #include "runtime/types.hpp"
@@ -93,8 +94,11 @@ class ShardedEngine {
   /// cross-shard sections of resident STEP rounds: kShmRing (shared-memory
   /// rings, the doorbell mesh underneath — the default), kSocketMesh (the
   /// PR-5 socket mesh, the bit-identical reference), kRelay (coordinator
-  /// relay); irrelevant when `resident` is false. kDefault here resolves to
-  /// defaultShmExchange()'s pick between the two mesh kinds.
+  /// relay); kTcp forms the same mesh by rendezvous over TCP (loopback
+  /// forks by default; MPCSPAN_TCP_REMOTE=1 awaits `mpcspan_worker`
+  /// attaches instead). Irrelevant when `resident` is false. kDefault here
+  /// resolves to defaultTcpExchange(), then defaultShmExchange()'s pick
+  /// between the two same-host mesh kinds.
   ShardedEngine(std::size_t numMachines, std::size_t shards,
                 std::size_t threadsPerShard, const Topology* topology,
                 bool resident = true,
@@ -125,6 +129,11 @@ class ShardedEngine {
   /// rings (the doorbell mesh only carries wakeup bytes).
   bool shmExchange() const {
     return resident_ && transport_ == Transport::kShmRing;
+  }
+  /// True when resident STEP rounds move sections over the TCP mesh (the
+  /// only transport that can span machines).
+  bool tcpExchange() const {
+    return resident_ && transport_ == Transport::kTcp;
   }
   /// True once the resident workers have forked (they fork lazily, at the
   /// first round / kernel / block operation).
@@ -211,16 +220,29 @@ class ShardedEngine {
   /// MPCSPAN_SHM_EXCHANGE env var: 0 selects the socket mesh for the peer
   /// exchange; anything else (or unset) the shared-memory rings.
   static bool defaultShmExchange();
+  /// MPCSPAN_TCP_EXCHANGE env var: 1 selects the TCP rendezvous mesh
+  /// (default off — same-host engines keep the shm/socket fast paths).
+  /// Wins over defaultShmExchange() when set.
+  static bool defaultTcpExchange();
 
  private:
   struct Worker {
-    pid_t pid = -1;
-    WireFd fd;  // coordinator end of the socketpair
+    pid_t pid = -1;  // -1 for remote tcp workers (not ours to reap)
+    Channel fd;      // coordinator end: socketpair, or the tcp control dial
   };
 
-  /// Forks the resident workers if they are not running yet. Throws
-  /// ShardError if the backend already failed (a worker died earlier).
+  /// Forks (or, for kTcp, rendezvouses) the resident workers if they are
+  /// not running yet. Throws ShardError if the backend already failed (a
+  /// worker died earlier).
   void start();
+  /// The kTcp half of start(): listens, forks local workers (unless
+  /// MPCSPAN_TCP_REMOTE=1), collects one control hello per shard, answers
+  /// with the mesh roster (+ SETUP frames for remote attaches).
+  void startTcp();
+  /// Body of a locally forked kTcp worker: dial the rendezvous, handshake,
+  /// form the mesh, run the command loop.
+  void tcpWorkerMain(std::size_t s, std::uint16_t port, std::uint64_t epoch,
+                     int deadlineMs);
   void requireResident(const char* op) const;
   /// Marks the backend failed, best-effort shuts down and reaps every
   /// worker, and throws ShardError built from `what`.
@@ -230,10 +252,13 @@ class ShardedEngine {
   auto guarded(Fn&& io) -> decltype(io());
   void shutdownWorkers() noexcept;
 
-  /// Entry point of one resident worker (runs in the child). `peers` is
-  /// this worker's row of the exchange mesh (empty vector when the peer
+  /// Runs shard s's command loop (worker_loop.hpp) in the child after
+  /// building its WorkerConfig and the fork-snapshot state (kernel table
+  /// copy, the shard's BlockStore slice, its inbox slice). `peers` is this
+  /// worker's row of the exchange mesh (empty vector when the peer
   /// exchange is off).
-  void workerMain(std::size_t s, WireFd& fd, std::vector<WireFd>& peers);
+  void runSnapshotWorker(std::size_t s, Channel& ctrl,
+                         std::vector<WireFd>& peers, int meshTimeoutMs);
 
   std::vector<std::vector<Delivery>> exchangeResident(
       const std::vector<std::vector<Message>>& outboxes,

@@ -1,12 +1,14 @@
-// Byte-level transport between the ShardedEngine coordinator and its forked
-// shard workers: an owned socketpair end plus length-framed message helpers.
+// Byte-level transport between the ShardedEngine coordinator and its shard
+// workers: an owned stream-socket end plus length-framed message helpers.
 //
 // The framing is deliberately dumb — host-endian u64/u8 fields appended to a
 // flat buffer, sent as one `u64 length + body` frame per protocol phase —
-// because both ends are always the same binary on the same host (workers are
-// fork()ed, never exec()ed). Every helper throws ShardError on short
-// reads/writes or peer death; the engine converts that into a loud round
-// failure rather than a hang.
+// because both ends are always the same binary (workers are fork()ed or run
+// the same-build mpcspan_worker; the tcp handshake's version byte pins the
+// latter). Every helper throws ShardError on short reads/writes or peer
+// death; the engine converts that into a loud round failure rather than a
+// hang. WireFd is the raw fd-pair implementation; transport.hpp's Channel
+// wraps it with optional poll deadlines for fds that cross a real network.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +20,8 @@
 #include "runtime/types.hpp"
 
 namespace mpcspan::runtime::shard {
+
+class Channel;  // transport.hpp — deadline-aware wrapper over a WireFd
 
 /// Transport-layer failure between the coordinator and a shard worker (a
 /// worker died mid-round, a socket broke). Distinct from CapacityError: this
@@ -105,6 +109,9 @@ class WireWriter {
 
   /// Sends `u64 length + body` as one frame (one gathered syscall).
   void sendFramed(WireFd& fd) const;
+  /// Same frame over a Channel, honoring its deadline (defined in
+  /// transport.cc — wire.cc stays fd-only).
+  void sendFramed(Channel& ch) const;
 
  private:
   std::vector<std::uint8_t> buf_;
@@ -117,6 +124,9 @@ class WireWriter {
 class WireReader {
  public:
   static WireReader recvFramed(WireFd& fd);
+  /// Same frame receive over a Channel, honoring its deadline (defined in
+  /// transport.cc).
+  static WireReader recvFramed(Channel& ch);
   /// Wraps an already-received (or test-crafted) frame body; the mesh
   /// exchange collects peer frames itself and hands the bytes here.
   static WireReader fromBytes(std::vector<std::uint8_t> bytes);

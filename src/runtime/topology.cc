@@ -165,4 +165,20 @@ std::size_t PramTopology::validateSources(
   return sliceWords;
 }
 
+std::unique_ptr<Topology> makeWireTopology(std::uint8_t kind,
+                                           std::uint64_t param) {
+  switch (static_cast<Topology::WireKind>(kind)) {
+    case Topology::WireKind::kMpc:
+      return std::make_unique<MpcTopology>(static_cast<std::size_t>(param));
+    case Topology::WireKind::kClique:
+      return std::make_unique<CliqueTopology>();
+    case Topology::WireKind::kPram:
+      return std::make_unique<PramTopology>();
+    default:
+      throw std::invalid_argument(
+          "makeWireTopology: unknown topology kind byte " +
+          std::to_string(static_cast<unsigned>(kind)));
+  }
+}
+
 }  // namespace mpcspan::runtime

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "runtime/types.hpp"
@@ -35,9 +36,25 @@ class Topology {
     kPriorityWrite,  // per destination only the lowest-src write lands
   };
 
+  /// Wire descriptor for transports that must rebuild the topology in a
+  /// process sharing no memory with the coordinator (tcp remote attach).
+  /// kOpaque topologies cannot cross the wire; the tcp SETUP frame rejects
+  /// them with ShardError instead of silently validating nothing.
+  enum class WireKind : std::uint8_t {
+    kMpc = 0,
+    kClique = 1,
+    kPram = 2,
+    kOpaque = 255,
+  };
+
   virtual ~Topology() = default;
 
   virtual const char* name() const = 0;
+
+  virtual WireKind wireKind() const { return WireKind::kOpaque; }
+  /// Single scalar parameter riding the wire descriptor (wordsPerMachine
+  /// for MpcTopology; unused otherwise).
+  virtual std::uint64_t wireParam() const { return 0; }
 
   /// Validates one round's outboxes (outboxes[src] = messages machine src
   /// sends; destination ids already bounds-checked by the engine). Throws
@@ -104,6 +121,8 @@ class MpcTopology final : public Topology {
       : wordsPerMachine_(wordsPerMachine) {}
 
   const char* name() const override { return "mpc"; }
+  WireKind wireKind() const override { return WireKind::kMpc; }
+  std::uint64_t wireParam() const override { return wordsPerMachine_; }
   std::size_t wordsPerMachine() const { return wordsPerMachine_; }
   std::size_t validateSlice(std::size_t numMachines,
                             const std::vector<std::vector<Message>>& outboxes,
@@ -124,6 +143,7 @@ class MpcTopology final : public Topology {
 class CliqueTopology final : public Topology {
  public:
   const char* name() const override { return "clique"; }
+  WireKind wireKind() const override { return WireKind::kClique; }
   std::size_t validateSlice(std::size_t numMachines,
                             const std::vector<std::vector<Message>>& outboxes,
                             std::size_t begin, std::size_t end) const override;
@@ -136,6 +156,7 @@ class CliqueTopology final : public Topology {
 class PramTopology final : public Topology {
  public:
   const char* name() const override { return "pram"; }
+  WireKind wireKind() const override { return WireKind::kPram; }
   std::size_t validateSlice(std::size_t numMachines,
                             const std::vector<std::vector<Message>>& outboxes,
                             std::size_t begin, std::size_t end) const override;
@@ -145,5 +166,11 @@ class PramTopology final : public Topology {
       std::size_t begin) const override;
   Mode mode() const override { return Mode::kPriorityWrite; }
 };
+
+/// Rebuilds a topology from its wire descriptor (the inverse of
+/// wireKind()/wireParam()); throws std::invalid_argument for kOpaque or an
+/// unknown kind byte.
+std::unique_ptr<Topology> makeWireTopology(std::uint8_t kind,
+                                           std::uint64_t param);
 
 }  // namespace mpcspan::runtime

@@ -176,6 +176,14 @@ TEST(ShmExchange, BitIdenticalToSocketMeshAndInProcessOnAllTopologies) {
 }
 
 TEST(ShmExchange, BackendSelectionFollowsConfigAndEnv) {
+  // This test exercises the kDefault resolution chain, so neutralize an
+  // outer MPCSPAN_TCP_EXCHANGE (the CI tcp leg sets it process-wide) and
+  // restore it afterwards for the remaining tests in this binary.
+  const char* tcpEnv = std::getenv("MPCSPAN_TCP_EXCHANGE");
+  const std::string tcpSaved = tcpEnv ? tcpEnv : "";
+  if (tcpEnv) {
+    ASSERT_EQ(::unsetenv("MPCSPAN_TCP_EXCHANGE"), 0);
+  }
   {
     RoundEngine eng(EngineConfig{8, 1, 2, 1, 1, runtime::Transport::kShmRing},
                     std::make_unique<MpcTopology>(16));
@@ -208,6 +216,19 @@ TEST(ShmExchange, BackendSelectionFollowsConfigAndEnv) {
   {
     RoundEngine eng(EngineConfig{8, 1, 2}, std::make_unique<MpcTopology>(16));
     EXPECT_TRUE(eng.shmRingShards());
+    EXPECT_FALSE(eng.tcpMeshShards());
+  }
+  // MPCSPAN_TCP_EXCHANGE=1 outranks the shm/socket default resolution.
+  ASSERT_EQ(::setenv("MPCSPAN_TCP_EXCHANGE", "1", 1), 0);
+  {
+    RoundEngine eng(EngineConfig{8, 1, 2}, std::make_unique<MpcTopology>(16));
+    EXPECT_TRUE(eng.peerMeshShards());
+    EXPECT_TRUE(eng.tcpMeshShards());
+    EXPECT_FALSE(eng.shmRingShards());
+  }
+  ASSERT_EQ(::unsetenv("MPCSPAN_TCP_EXCHANGE"), 0);
+  if (!tcpSaved.empty()) {
+    ASSERT_EQ(::setenv("MPCSPAN_TCP_EXCHANGE", tcpSaved.c_str(), 1), 0);
   }
 }
 

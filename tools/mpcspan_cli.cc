@@ -107,8 +107,9 @@ int main(int argc, char** argv) {
             "MPCSPAN_PEER_EXCHANGE=0 for the coordinator-relay exchange)")
       .flag("transport", "",
             "cross-shard section route: shm (shared-memory rings, default), "
-            "socket (PR-5 socket mesh), relay (coordinator relay); empty = "
-            "MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE defaults")
+            "socket (PR-5 socket mesh), tcp (rendezvous mesh, cross-machine "
+            "capable), relay (coordinator relay); empty = MPCSPAN_TCP_EXCHANGE "
+            "/ MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE defaults")
       .flag("seed", "1", "random seed")
       .flag("verify", "false", "audit stretch (sampled) before exiting")
       .flag("out", "", "write the spanner as an edge list to this path");
@@ -138,6 +139,8 @@ int main(int argc, char** argv) {
         transport = runtime::Transport::kShmRing;
       else if (transportName == "socket")
         transport = runtime::Transport::kSocketMesh;
+      else if (transportName == "tcp")
+        transport = runtime::Transport::kTcp;
       else if (transportName == "relay")
         transport = runtime::Transport::kRelay;
       else if (!transportName.empty())
@@ -153,12 +156,15 @@ int main(int argc, char** argv) {
                    sim.numMachines(), sim.wordsPerMachine(), sim.numShards(),
                    sim.numShards() > 1
                        ? (sim.residentShards()
-                              ? (sim.shmRingShards()
-                                     ? " (resident workers, shm ring)"
-                                     : (sim.peerMeshShards()
-                                            ? " (resident workers, peer mesh)"
-                                            : " (resident workers, coordinator "
-                                              "relay)"))
+                              ? (sim.tcpMeshShards()
+                                     ? " (resident workers, tcp mesh)"
+                                     : (sim.shmRingShards()
+                                            ? " (resident workers, shm ring)"
+                                            : (sim.peerMeshShards()
+                                                   ? " (resident workers, peer "
+                                                     "mesh)"
+                                                   : " (resident workers, "
+                                                     "coordinator relay)")))
                               : " (fork per round)")
                        : "");
       const DistSpannerResult r =

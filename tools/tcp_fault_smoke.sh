@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Fault-injection smoke for the TCP shard transport: launch a remote-attached
+# sharded run (coordinator + two `mpcspan_worker --connect` shards over
+# loopback), SIGKILL one worker mid-run, and assert the whole fleet fails
+# *cleanly* — the coordinator exits nonzero with a ShardError on stderr
+# within its poll deadline (no hang), and no worker process is left behind.
+#
+#   tools/tcp_fault_smoke.sh [build-dir] [port]
+#
+# Exit status: 0 = clean failure observed, 1 = wrong failure shape,
+# 2 = setup problem. CI wraps this in `timeout` so a hung rendezvous or a
+# never-returning coordinator also fails the job fast.
+set -u
+
+BUILD_DIR="${1:-build}"
+PORT="${2:-39411}"
+TIMEOUT_MS=8000
+WORKER="$BUILD_DIR/mpcspan_worker"
+
+if [[ ! -x "$WORKER" ]]; then
+  echo "tcp_fault_smoke: $WORKER not found (build first)" >&2
+  exit 2
+fi
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+# Enough rounds that the run is guaranteed to still be mid-wave when the
+# kill lands; the coordinator must abort long before finishing them.
+"$WORKER" --coordinate 2 --port "$PORT" --machines 8 --rounds 200000 \
+  --timeout "$TIMEOUT_MS" >"$OUT/coord.out" 2>"$OUT/coord.err" &
+COORD=$!
+sleep 0.5
+
+"$WORKER" --connect "127.0.0.1:$PORT" --shard 0 --timeout "$TIMEOUT_MS" \
+  2>"$OUT/w0.err" &
+W0=$!
+"$WORKER" --connect "127.0.0.1:$PORT" --shard 1 --timeout "$TIMEOUT_MS" \
+  2>"$OUT/w1.err" &
+W1=$!
+
+# Let the mesh form and the round traffic start, then murder shard 1.
+sleep 1.0
+if ! kill -9 "$W1" 2>/dev/null; then
+  echo "tcp_fault_smoke: worker 1 died before the injected kill" >&2
+  cat "$OUT"/w1.err >&2
+  exit 2
+fi
+
+wait "$COORD"
+COORD_RC=$?
+wait "$W0" 2>/dev/null
+wait "$W1" 2>/dev/null
+
+echo "--- coordinator stdout ---"; cat "$OUT/coord.out"
+echo "--- coordinator stderr ---"; cat "$OUT/coord.err"
+echo "--- surviving worker stderr ---"; cat "$OUT/w0.err"
+
+if [[ "$COORD_RC" -ne 1 ]]; then
+  echo "tcp_fault_smoke: coordinator exit=$COORD_RC, want 1 (ShardError)" >&2
+  exit 1
+fi
+if ! grep -q "ShardError" "$OUT/coord.err"; then
+  echo "tcp_fault_smoke: no ShardError on coordinator stderr" >&2
+  exit 1
+fi
+if pgrep -f "mpcspan_worker --connect 127.0.0.1:$PORT" >/dev/null; then
+  echo "tcp_fault_smoke: worker processes left behind" >&2
+  exit 1
+fi
+
+echo "tcp_fault_smoke: PASS (coordinator exit=1, clean ShardError, no stray workers)"
