@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <numeric>
+#include <string>
 #include <unordered_map>
 
 #include "graph/distance.hpp"
@@ -154,10 +155,13 @@ BENCHMARK(BM_ShardRoundDispatch)
 /// and kernel state living inside the resident workers, the wave must beat
 /// the backend that re-marshals every round coordinator-side. The simulated
 /// ledger is identical on both (asserted by test_wave_kernels); only the
-/// dispatch cost differs. arg0 = shards, arg1 = 1 resident / 0 legacy.
+/// dispatch cost differs. arg0 = shards, arg1 = 1 resident / 0 legacy,
+/// arg2 = 1 pipelined barrier / 0 strict (resident mesh rounds only —
+/// pipelining is inert on the fork-per-round reference).
 void BM_IterationRoundDispatch(benchmark::State& state) {
   const auto shards = static_cast<std::size_t>(state.range(0));
   const bool resident = state.range(1) != 0;
+  const bool pipelined = state.range(2) != 0;
   Rng rng(23);
   const Graph g = gnmRandom(400, 2000, rng, {WeightModel::kUniform, 12.0}, true);
   const std::size_t n = g.numVertices();
@@ -166,17 +170,22 @@ void BM_IterationRoundDispatch(benchmark::State& state) {
   const std::vector<char> sampled =
       HashCoinPolicy::draw(std::vector<char>(n, 1), 0.3, 23, 1);
   MpcSimulator sim(MpcConfig::forInput(4 * g.numEdges(), 0.6, 3.0),
-                   /*threads=*/1, shards, resident ? 1 : 0);
+                   /*threads=*/1, shards, resident ? 1 : 0,
+                   runtime::Transport::kDefault, pipelined ? 1 : 0);
   for (auto _ : state)
     benchmark::DoNotOptimize(distIterationKernel(sim, g, ident, ident, sampled));
-  state.SetLabel(resident ? "resident" : "fork-per-round");
+  state.SetLabel(resident
+                     ? (pipelined ? "resident-pipelined" : "resident-strict")
+                     : "fork-per-round");
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_IterationRoundDispatch)
-    ->Args({4, 1})
-    ->Args({4, 0})
-    ->Args({2, 1})
-    ->Args({2, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 0})
+    ->Args({4, 0, 0})
+    ->Args({2, 1, 1})
+    ->Args({2, 1, 0})
+    ->Args({2, 0, 0})
     ->Unit(benchmark::kMillisecond);
 
 /// The transport acceptance probe: exchange-heavy kernel rounds (every
@@ -190,7 +199,9 @@ BENCHMARK(BM_IterationRoundDispatch)
 /// the payload path, and the tcp-loopback axis prices the cross-machine
 /// transport against its same-host siblings. arg0 = shards (1 = the
 /// in-process reference), arg1 = 3 tcp mesh / 2 shm ring / 1 socket mesh /
-/// 0 coordinator relay.
+/// 0 coordinator relay, arg2 = 1 pipelined barrier / 0 strict (the
+/// overlap axis: speculative delivery under the fused single-verdict
+/// barrier vs the two-phase reference; inert on the relay).
 void BM_CrossShardExchange(benchmark::State& state) {
   using namespace mpcspan::runtime;
   class AllToAllKernel final : public StepKernel {
@@ -211,20 +222,23 @@ void BM_CrossShardExchange(benchmark::State& state) {
                               : state.range(1) == 2 ? Transport::kShmRing
                               : state.range(1) == 1 ? Transport::kSocketMesh
                                                     : Transport::kRelay;
+  const bool pipelined = state.range(2) != 0;
   const std::size_t machines = 4 * shards;
   const std::size_t payloadWords = 256;
   EngineConfig cfg{machines, 1, shards, /*resident=*/1,
-                   /*peerExchange=*/-1, transport};
+                   /*peerExchange=*/-1, transport, pipelined ? 1 : 0};
   RoundEngine eng(cfg,
                   std::make_unique<MpcTopology>(machines * payloadWords));
   const KernelId k = eng.registerKernel(
       "bench.alltoall", [] { return std::make_unique<AllToAllKernel>(); });
   for (auto _ : state) eng.step(k, {payloadWords});
-  state.SetLabel(shards == 1                          ? "in-process"
-                 : transport == Transport::kTcp       ? "tcp-loopback"
-                 : transport == Transport::kShmRing   ? "shm-ring"
-                 : transport == Transport::kSocketMesh ? "peer-mesh"
-                                                       : "coordinator-relay");
+  std::string label = shards == 1                          ? "in-process"
+                      : transport == Transport::kTcp       ? "tcp-loopback"
+                      : transport == Transport::kShmRing   ? "shm-ring"
+                      : transport == Transport::kSocketMesh ? "peer-mesh"
+                                                            : "coordinator-relay";
+  if (pipelined && shards > 1) label += "+pipelined";
+  state.SetLabel(label);
   // Cross-shard words moved per round (the traffic whose routing is probed).
   const std::size_t crossWords =
       shards == 1 ? 0 : machines * (machines - 4) * payloadWords;
@@ -233,15 +247,21 @@ void BM_CrossShardExchange(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CrossShardExchange)
-    ->Args({4, 3})
-    ->Args({4, 2})
-    ->Args({4, 1})
-    ->Args({4, 0})
-    ->Args({2, 3})
-    ->Args({2, 2})
-    ->Args({2, 1})
-    ->Args({2, 0})
-    ->Args({1, 2})
+    ->Args({4, 3, 1})
+    ->Args({4, 3, 0})
+    ->Args({4, 2, 1})
+    ->Args({4, 2, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 0})
+    ->Args({4, 0, 0})
+    ->Args({2, 3, 1})
+    ->Args({2, 3, 0})
+    ->Args({2, 2, 1})
+    ->Args({2, 2, 0})
+    ->Args({2, 1, 1})
+    ->Args({2, 1, 0})
+    ->Args({2, 0, 0})
+    ->Args({1, 2, 0})
     ->Unit(benchmark::kMicrosecond);
 
 /// The arena acceptance probe: BlockStore block churn shaped like the sort

@@ -16,10 +16,10 @@ std::size_t checkedNodes(std::size_t n) {
 
 CongestedClique::CongestedClique(std::size_t n, std::size_t threads,
                                  std::size_t shards, int resident,
-                                 runtime::Transport transport)
+                                 runtime::Transport transport, int pipeline)
     : n_(checkedNodes(n)),
       engine_(runtime::EngineConfig{n, threads, shards, resident,
-                                    /*peerExchange=*/-1, transport},
+                                    /*peerExchange=*/-1, transport, pipeline},
               std::make_unique<runtime::CliqueTopology>()) {}
 
 std::vector<std::vector<std::pair<VertexId, Word>>> CongestedClique::directRound(

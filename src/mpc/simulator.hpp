@@ -36,12 +36,15 @@ class MpcSimulator {
   /// MPCSPAN_RESIDENT default; see runtime::EngineConfig), and `transport`
   /// routes its cross-shard sections (kDefault resolves via
   /// MPCSPAN_TCP_EXCHANGE / MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE).
-  /// Results are bit-identical for every thread, shard, backend, and
-  /// transport choice.
+  /// `pipeline` selects the pipelined barrier of resident mesh rounds
+  /// (1 on, 0 strict, -1 the MPCSPAN_PIPELINE default). Results are
+  /// bit-identical for every thread, shard, backend, transport, and
+  /// pipeline choice.
   explicit MpcSimulator(MpcConfig cfg, std::size_t threads = 0,
                         std::size_t shards = 0, int resident = -1,
                         runtime::Transport transport =
-                            runtime::Transport::kDefault);
+                            runtime::Transport::kDefault,
+                        int pipeline = -1);
 
   std::size_t numMachines() const { return cfg_.numMachines; }
   std::size_t numShards() const { return engine_.numShards(); }
@@ -60,6 +63,10 @@ class MpcSimulator {
   /// True when the mesh is TCP, formed by rendezvous (MPCSPAN_TCP_EXCHANGE=1
   /// or an explicit kTcp; cross-machine capable).
   bool tcpMeshShards() const { return engine_.tcpMeshShards(); }
+  /// True when resident mesh rounds run the pipelined barrier — overlap of
+  /// one round's cross-shard delivery with the next round's local phase
+  /// (MPCSPAN_PIPELINE=0 or pipeline=0 selects the strict reference).
+  bool pipelinedShards() const { return engine_.pipelinedShards(); }
   std::size_t wordsPerMachine() const { return cfg_.wordsPerMachine; }
 
   std::size_t rounds() const { return engine_.rounds(); }

@@ -48,7 +48,7 @@ RoundEngine::RoundEngine(EngineConfig cfg, std::unique_ptr<Topology> topology)
       transport = Transport::kRelay;
     shard_ = std::make_unique<shard::ShardedEngine>(
         numMachines_, shards, perShard, topology_.get(), resident, &kernels_,
-        &store_, &inboxes_, transport);
+        &store_, &inboxes_, transport, cfg.pipeline);
   }
 }
 
@@ -72,6 +72,10 @@ bool RoundEngine::shmRingShards() const {
 
 bool RoundEngine::tcpMeshShards() const {
   return shard_ && shard_->tcpExchange();
+}
+
+bool RoundEngine::pipelinedShards() const {
+  return shard_ && shard_->pipelined();
 }
 
 std::vector<std::vector<Delivery>> RoundEngine::exchange(

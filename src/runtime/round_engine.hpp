@@ -71,6 +71,15 @@ struct EngineConfig {
   /// listener instead of fd inheritance, so its workers may also be remote
   /// processes (MPCSPAN_TCP_REMOTE=1 + mpcspan_worker --connect).
   Transport transport = Transport::kDefault;
+  /// Pipelined resident rounds: 1 = overlap a round's cross-shard delivery
+  /// with the next round's local phase when the topology allows it
+  /// (Topology::canOverlap — fused epoch-tagged barrier, speculative
+  /// pre-verdict merge into double-buffered inboxes), 0 = strict barrier
+  /// (every transport's classic conversation, the bit-identical reference),
+  /// -1 = the MPCSPAN_PIPELINE env var (default pipelined). Only the
+  /// resident mesh transports pipeline; relay and fork-per-round stay
+  /// strict regardless.
+  int pipeline = -1;
 };
 
 class RoundEngine {
@@ -94,6 +103,10 @@ class RoundEngine {
   /// True when the mesh is TCP, formed by rendezvous (cross-machine
   /// capable; false: same-host transports, relay, or not sharded).
   bool tcpMeshShards() const;
+  /// True when resident rounds run the pipelined (epoch-tagged, overlap-
+  /// capable) barrier rather than the strict reference barrier (false:
+  /// strict mode, relay, or not sharded).
+  bool pipelinedShards() const;
   /// The multi-process backend, null when in-process (introspection: worker
   /// pids, shard ranges).
   const shard::ShardedEngine* shardBackend() const { return shard_.get(); }

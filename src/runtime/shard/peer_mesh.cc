@@ -131,7 +131,7 @@ std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
                                      std::size_t self,
                                      const std::vector<std::uint64_t>& counts,
                                      const std::vector<WireWriter>& sections,
-                                     int timeoutMs) {
+                                     const DeadlineBudget* budget) {
   const std::size_t n = peers.size();
   std::vector<PeerOut> outs(n);
   std::vector<PeerIn> ins(n);
@@ -171,15 +171,20 @@ std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
       who.push_back(t);
     }
     if (pfds.empty()) break;
-    const int rc = ::poll(pfds.data(), pfds.size(), timeoutMs);
+    // One budget across every wait of the exchange: remainingMs() shrinks
+    // monotonically, so partial progress (a peer trickling bytes) cannot
+    // stretch the round past the budget's total.
+    const int waitMs = budget != nullptr ? budget->remainingMs() : -1;
+    const int rc = ::poll(pfds.data(), pfds.size(), waitMs);
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw ShardError(std::string("peer mesh poll: ") + std::strerror(errno));
     }
     if (rc == 0)
-      throw ShardError("peer mesh exchange timed out after " +
-                       std::to_string(timeoutMs) +
-                       " ms (peer hung or unreachable)");
+      throw ShardError("peer mesh exchange exceeded its round budget of " +
+                       std::to_string(budget != nullptr ? budget->totalMs()
+                                                        : waitMs) +
+                       " ms (peer hung, trickling, or unreachable)");
     for (std::size_t i = 0; i < pfds.size(); ++i) {
       const std::size_t t = who[i];
       const short re = pfds[i].revents;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "runtime/arena.hpp"
+#include "runtime/shard/transport.hpp"
 #include "runtime/shard/wire.hpp"
 #include "runtime/types.hpp"
 
@@ -47,14 +48,17 @@ std::vector<std::vector<WireFd>> makeMesh(std::size_t count);
 /// each positioned at its leading row count. A peer that dies mid-exchange
 /// (EOF, EPIPE, ECONNRESET) throws ShardError — the worker exits and the
 /// coordinator turns the dropped verdict into ShardError for everyone.
-/// timeoutMs bounds each poll wait (ShardError on expiry); same-host meshes
-/// pass -1 (peer death always surfaces as an fd event there), tcp meshes
-/// pass their channel deadline so a half-open remote cannot hang the round.
+/// `budget` bounds the *whole* exchange (ShardError once it expires, no
+/// matter how the waits were sliced — a trickling peer spends the budget
+/// rather than resetting a per-wait timer). Same-host meshes pass null /
+/// an unbounded budget (peer death always surfaces as an fd event there);
+/// tcp meshes pass the round's shared budget, seeded from their channel
+/// deadline, so a half-open or throttled remote cannot hang the round.
 std::vector<WireReader> meshExchange(std::vector<WireFd>& peers,
                                      std::size_t self,
                                      const std::vector<std::uint64_t>& counts,
                                      const std::vector<WireWriter>& sections,
-                                     int timeoutMs = -1);
+                                     const DeadlineBudget* budget = nullptr);
 
 /// Merges `count` section rows (src, dst, len, words) into the projected
 /// round view: pass 1 vets every header (src in [srcLo, srcHi), dst in

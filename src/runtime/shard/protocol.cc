@@ -5,6 +5,8 @@
 
 #include <stdexcept>
 
+#include "runtime/shard/transport.hpp"
+
 namespace mpcspan::runtime::shard {
 
 void rethrow(std::uint8_t kind, const std::string& msg) {
@@ -38,9 +40,10 @@ std::uint8_t classify(std::string& err) {
   }
 }
 
-void spinAwaitReadable(int fd) {
+void spinAwaitReadable(int fd, const DeadlineBudget* budget) {
   constexpr int kBarrierSpins = 128;
   for (int i = 0; i < kBarrierSpins; ++i) {
+    if (budget != nullptr && budget->expired()) return;
     pollfd p{fd, POLLIN, 0};
     if (::poll(&p, 1, 0) > 0) return;
     ::sched_yield();

@@ -74,8 +74,11 @@ std::uint8_t classify(std::string& err);
 /// other finishes converts those hand-offs into cheap runqueue rotations
 /// instead of sleep/wake cycles — a woken sleeper preempts its waker, so
 /// blocking doubles the context switches per round. Bounded: an idle
-/// engine still parks in the normal blocking read.
-void spinAwaitReadable(int fd);
+/// engine still parks in the normal blocking read. A non-null `budget`
+/// (the round's shared deadline budget) stops the spin early once the
+/// round is out of time, so the expiry surfaces from the blocking read
+/// instead of being hidden behind yields.
+void spinAwaitReadable(int fd, const class DeadlineBudget* budget = nullptr);
 
 /// Broadcast kernel args on the wire: u64 count + words.
 void writeArgs(WireWriter& w, const std::vector<Word>& args);

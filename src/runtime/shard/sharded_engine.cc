@@ -107,7 +107,7 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
                              const std::vector<KernelRegistration>* kernels,
                              BlockStore* blocks,
                              const std::vector<std::vector<Delivery>>* inboxes,
-                             Transport transport)
+                             Transport transport, int pipeline)
     : numMachines_(numMachines),
       shards_(shards),
       threadsPerShard_(threadsPerShard == 0 ? 1 : threadsPerShard),
@@ -119,6 +119,7 @@ ShardedEngine::ShardedEngine(std::size_t numMachines, std::size_t shards,
                             : (defaultShmExchange() ? Transport::kShmRing
                                                     : Transport::kSocketMesh))
                      : transport),
+      pipelined_(pipeline < 0 ? defaultPipeline() : pipeline != 0),
       kernels_(kernels),
       blocks_(blocks),
       inboxes_(inboxes) {
@@ -172,6 +173,12 @@ bool ShardedEngine::defaultTcpExchange() {
   return false;
 }
 
+bool ShardedEngine::defaultPipeline() {
+  if (const char* env = std::getenv("MPCSPAN_PIPELINE"))
+    return std::strtol(env, nullptr, 10) != 0;
+  return true;
+}
+
 std::vector<pid_t> ShardedEngine::workerPids() const {
   std::vector<pid_t> pids;
   pids.reserve(workers_.size());
@@ -205,14 +212,24 @@ void ShardedEngine::start() {
   if (resident_ && transport_ != Transport::kRelay) {
     mesh = makeMesh(shards_);
     if (transport_ == Transport::kShmRing) {
-      // The shared arena must also exist before the first fork (every
-      // worker inherits the one mapping); the mesh then only carries
-      // doorbell bytes. A host that cannot map POSIX shm (no /dev/shm)
-      // falls back to the socket mesh rather than failing the run.
-      try {
-        shmArena_ = std::make_unique<ShmArena>(shards_);
-      } catch (const ShardError&) {
+      // The shm transport commits rounds off the fused barrier, whose
+      // validation is the validateSources + validateInbound split — a
+      // custom topology that only implements validateSlice would silently
+      // under-validate there (the base validateSources just counts words).
+      // Such topologies take the socket mesh instead, whose strict
+      // conversation runs the full validateSlice; same fallback as a host
+      // that cannot map POSIX shm (no /dev/shm).
+      if (!topology_->canOverlap(/*freePlacement=*/false)) {
         transport_ = Transport::kSocketMesh;
+      } else {
+        // The shared arena must also exist before the first fork (every
+        // worker inherits the one mapping); the mesh then only carries
+        // doorbell bytes.
+        try {
+          shmArena_ = std::make_unique<ShmArena>(shards_);
+        } catch (const ShardError&) {
+          transport_ = Transport::kSocketMesh;
+        }
       }
     }
   }
@@ -317,7 +334,7 @@ void ShardedEngine::startTcp() {
       for (std::size_t s = 0; s < shards_; ++s)
         sendWorkerSetup(workers[s].fd, numMachines_, shards_, s,
                         threadsPerShard_, *topology_, kernels_, blocks_,
-                        inboxes_);
+                        inboxes_, pipelined_);
   } catch (...) {
     // Unwind without zombies or hangs: closing the listener and every
     // accepted control channel gives each worker EOF/ECONNREFUSED within
@@ -363,6 +380,7 @@ void ShardedEngine::runSnapshotWorker(std::size_t s, Channel& ctrl,
   cfg.transport = transport_;
   cfg.shmArena = shmArena_.get();
   cfg.meshTimeoutMs = meshTimeoutMs;
+  cfg.pipelined = pipelined_;
   std::vector<KernelRegistration> kernels =
       kernels_ ? *kernels_ : std::vector<KernelRegistration>{};
   const std::size_t lo = shardBegin(s), hi = shardEnd(s);
@@ -487,26 +505,43 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
                                std::size_t& roundWords, bool freePlacement) {
   requireResident("step(KernelId)");
   start();
+  // One epoch per STEP attempt, aborts included; the workers advance their
+  // own counters in lockstep, so both sides can vet every frame of the
+  // conversation against it (essential once rounds overlap: a verdict must
+  // never be appliable to the wrong round's speculative state).
+  const std::uint64_t epoch = stepEpoch_++;
+  // Overlap eligibility is per round: pipelined engine, and a topology
+  // whose validation splits across the fused barrier for this round kind.
+  // Ineligible rounds fall back to the strict conversation below — the two
+  // modes interleave freely on one engine because the kOpStep frame carries
+  // the mode byte.
+  const bool overlap = pipelined() && topology_->canOverlap(freePlacement);
   guarded([&] {
     for (Worker& w : workers_) {
       WireWriter f;
       f.u8(kOpStep);
+      f.u64(epoch);
+      f.u8(overlap ? 1 : 0);
       f.u64(id);
       f.u8(freePlacement ? 1 : 0);
       writeArgs(f, args);
       f.sendFramed(w.fd);
     }
 
-    if (transport_ == Transport::kShmRing && shmArena_ != nullptr) {
-      // Shm ring: fused single barrier. Workers validate their own
-      // sources at phase A and pre-write their sections into the rings;
-      // each report carries the source verdict plus (for topologies with
-      // inbound budgets) this worker's per-destination word sums. The
-      // coordinator totals the sums, runs the receiver-side validation,
-      // and broadcasts the one commit/abort byte — two scheduling waves
-      // per round instead of four, and no worker ever waits on a frame
-      // mid-round: every pre-write precedes its report, so all frames
-      // exist before the verdict does.
+    const bool shmMode =
+        transport_ == Transport::kShmRing && shmArena_ != nullptr;
+    if (shmMode || overlap) {
+      // Fused single barrier — the shm ring's native conversation,
+      // generalized to every mesh transport for pipelined rounds. Workers
+      // validate their own sources at phase A and ship their sections
+      // (pre-written into the rings, or speculatively exchanged over the
+      // mesh before the verdict lands); each report carries the source
+      // verdict plus (for topologies with inbound budgets) this worker's
+      // per-destination word sums. The coordinator totals the sums, runs
+      // the receiver-side validation, and broadcasts the one commit/abort
+      // frame — two scheduling waves per round instead of four. Reports
+      // and verdicts echo the epoch so a desynced stream fails loudly
+      // instead of committing round r against round r+1's state.
       const bool wantSums = !freePlacement && topology_->needsInboundSums();
       std::vector<std::uint64_t> received(wantSums ? numMachines_ : 0, 0);
       std::vector<Report> reports(shards_);
@@ -514,6 +549,9 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
         spinAwaitReadable(workers_[s].fd.fd());
         WireReader r = WireReader::recvFramed(workers_[s].fd);
         reports[s].kind = r.u8();
+        if (r.u64() != epoch)
+          throw ShardError("step barrier: report epoch mismatch (shard " +
+                           std::to_string(s) + " desynced)");
         if (reports[s].kind == kOk) {
           reports[s].words = r.u64();
           if (wantSums)
@@ -542,6 +580,7 @@ void ShardedEngine::stepKernel(std::size_t id, const std::vector<Word>& args,
       for (Worker& w : workers_) {
         WireWriter f;
         f.u8(ok ? kGo : kAbort);
+        f.u64(epoch);
         f.sendFramed(w.fd);
       }
       if (!ok) {

@@ -98,14 +98,18 @@ class ShardedEngine {
   /// forks by default; MPCSPAN_TCP_REMOTE=1 awaits `mpcspan_worker`
   /// attaches instead). Irrelevant when `resident` is false. kDefault here
   /// resolves to defaultTcpExchange(), then defaultShmExchange()'s pick
-  /// between the two same-host mesh kinds.
+  /// between the two same-host mesh kinds. `pipeline` selects the
+  /// epoch-tagged pipelined STEP barrier (1), the strict reference
+  /// conversation (0), or defaultPipeline() (-1); it only takes effect on
+  /// the resident mesh transports — relay and fork-per-round are always
+  /// strict.
   ShardedEngine(std::size_t numMachines, std::size_t shards,
                 std::size_t threadsPerShard, const Topology* topology,
                 bool resident = true,
                 const std::vector<KernelRegistration>* kernels = nullptr,
                 BlockStore* blocks = nullptr,
                 const std::vector<std::vector<Delivery>>* inboxes = nullptr,
-                Transport transport = Transport::kDefault);
+                Transport transport = Transport::kDefault, int pipeline = -1);
 
   /// Sends SHUTDOWN to every resident worker and reaps it (EINTR-safe);
   /// never throws, never leaks a zombie.
@@ -135,6 +139,13 @@ class ShardedEngine {
   bool tcpExchange() const {
     return resident_ && transport_ == Transport::kTcp;
   }
+  /// True when resident STEP rounds run the pipelined barrier: the fused
+  /// epoch-tagged report/verdict conversation on every mesh transport,
+  /// with workers speculatively exchanging and merging into back-buffer
+  /// inboxes before the verdict lands (discarded on abort). False: the
+  /// strict reference conversation (also always the case for relay and
+  /// fork-per-round).
+  bool pipelined() const { return peerExchange() && pipelined_; }
   /// True once the resident workers have forked (they fork lazily, at the
   /// first round / kernel / block operation).
   bool started() const { return !workers_.empty(); }
@@ -224,6 +235,9 @@ class ShardedEngine {
   /// (default off — same-host engines keep the shm/socket fast paths).
   /// Wins over defaultShmExchange() when set.
   static bool defaultTcpExchange();
+  /// MPCSPAN_PIPELINE env var: 0 selects the strict-barrier reference
+  /// conversation; anything else (or unset) the pipelined barrier.
+  static bool defaultPipeline();
 
  private:
   struct Worker {
@@ -273,6 +287,16 @@ class ShardedEngine {
   const Topology* topology_;
   bool resident_;
   Transport transport_;
+  /// Pipelined STEP barrier selected (see pipelined(); resolved at
+  /// construction, may be cleared by start() if the topology cannot ride
+  /// the fused barrier).
+  bool pipelined_ = false;
+  /// Round epoch of the STEP conversation, incremented per attempt (aborts
+  /// included) in lockstep with every worker's own counter; stamped into
+  /// each kOpStep frame and echoed through reports/verdicts so a desynced
+  /// stream fails loudly instead of committing round r's verdict against
+  /// round r+1's state.
+  std::uint64_t stepEpoch_ = 0;
   bool failed_ = false;
   /// The pre-fork shared-memory arena (kShmRing only); inherited by every
   /// worker's address space, coordinator-held for teardown.

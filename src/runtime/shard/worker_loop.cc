@@ -77,6 +77,23 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
   Arena deliveryArena[2];
   std::size_t curArena = 0;
 
+  // Double-buffered resident inboxes, flipped in lockstep with the arenas:
+  // every reader (kernel phases, fetches) sees inboxBuf[curInbox], while a
+  // round's deliveries are installed into the *back* buffer and only a
+  // commit flips them live. That separation is what makes pipelined rounds
+  // safe — a speculative pre-verdict install touches nothing a reader (or
+  // an abort) can see, so discarding r+1 state after an abort at r is just
+  // "don't flip".
+  std::vector<std::vector<Delivery>> inboxBuf[2];
+  inboxBuf[0] = std::move(inboxes);
+  inboxBuf[1].resize(local);
+  std::size_t curInbox = 0;
+
+  // This worker's STEP epoch, advanced once per kOpStep attempt (aborts
+  // included) in lockstep with the coordinator's counter; every frame of
+  // the fused conversation is vetted against it.
+  std::uint64_t stepEpoch = 0;
+
   auto ensureInstance = [&](std::uint64_t id) -> StepKernel& {
     if (id >= kernels.size())
       throw std::runtime_error("ShardedEngine: unknown kernel id in worker");
@@ -101,12 +118,14 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
     return *instances[id];
   };
 
-  // Installs the committed deliveries of a projected round view into the
-  // resident inboxes, in (src, pos) order.
+  // Stages the deliveries of a projected round view into the *back* inbox
+  // buffer, in (src, pos) order; the caller flips curInbox (and curArena)
+  // to commit, or leaves them put to discard.
   auto installDeliveries =
       [&](const std::vector<std::vector<Ref>>& byDst,
           std::vector<std::vector<Message>>& projected) {
-        std::vector<std::vector<Delivery>> next(local);
+        std::vector<std::vector<Delivery>>& next = inboxBuf[1 - curInbox];
+        next.assign(local, std::vector<Delivery>());
         pool.parallelFor(local, [&](std::size_t i) {
           const auto& refs = byDst[i];
           next[i].reserve(refs.size());
@@ -114,7 +133,6 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
             next[i].push_back(
                 {ref.src, std::move(projected[ref.src][ref.pos].payload)});
         });
-        inboxes = std::move(next);
       };
 
   try {
@@ -152,12 +170,26 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
         }
 
         case kOpStep: {
+          const std::uint64_t epoch = cmd.u64();
+          if (epoch != stepEpoch)
+            throw std::runtime_error(
+                "ShardedEngine: step epoch mismatch in worker (desynced "
+                "stream)");
+          ++stepEpoch;
+          // The round's barrier mode, decided coordinator-side: 1 = this
+          // round may overlap (pipelined engine + an overlap-eligible
+          // topology) and runs the fused conversation with a speculative
+          // pre-verdict exchange; 0 = the strict reference conversation.
+          const bool overlap = cmd.u8() != 0 && peerMode;
           const std::uint64_t kid = cmd.u64();
           // Data-placement shuffles reuse the whole STEP barrier; the flag
           // only disables validation and the priority-write drop (free
           // movement is deliver-all and never charged).
           const bool freePlacement = cmd.u8() != 0;
           const std::vector<Word> args = readArgs(cmd);
+          // Fused single-report/single-verdict rounds: the shm ring always
+          // (its native barrier), any mesh transport when overlapping.
+          const bool fusedRound = shmMode || overlap;
 
           // Phase A: run the kernel over this shard's machines, keep the
           // messages, and bucket every cross-shard one straight into its
@@ -172,18 +204,18 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
           std::vector<std::vector<Message>> own(local);
           std::vector<WireWriter> sections(cfg.shards);
           std::vector<std::uint64_t> counts(cfg.shards, 0);
-          // Shm fused barrier: the report also carries this worker's
+          // Fused barrier: the report also carries this worker's
           // contribution to every machine's inbound words, so the
           // coordinator can run the receiver-side validation without a
           // second barrier.
           const bool wantSums =
-              shmMode && !freePlacement && cfg.topology->needsInboundSums();
+              fusedRound && !freePlacement && cfg.topology->needsInboundSums();
           std::vector<std::uint64_t> recvWords(wantSums ? n : 0, 0);
           try {
             StepKernel& ker = ensureInstance(kid);
             pool.parallelFor(local, [&](std::size_t i) {
               own[i] = ker.step(
-                  KernelCtx{lo + i, n, inboxes[i], args, store});
+                  KernelCtx{lo + i, n, inboxBuf[curInbox][i], args, store});
             });
             for (std::size_t i = 0; i < local; ++i)
               for (const Message& msg : own[i]) {
@@ -197,34 +229,86 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
                                 msg.payload.size());
                 ++counts[t];
               }
-            // Shm mode validates sources here, pre-exchange: `own` is the
-            // complete outbox set for [lo, hi), which is all the
+            // Fused rounds validate sources here, pre-exchange: `own` is
+            // the complete outbox set for [lo, hi), which is all the
             // source-side half needs. The receive-side half runs at the
-            // coordinator over the summed report columns.
-            if (shmMode && !freePlacement)
+            // coordinator over the summed report columns. (Only reachable
+            // for topologies whose canOverlap() promises the split covers
+            // validateSlice — see start()'s shm fallback and the per-round
+            // overlap gate.)
+            if (fusedRound && !freePlacement)
               words = cfg.topology->validateSources(n, own, lo);
           } catch (...) {
             kind = classify(err);
             sections.assign(cfg.shards, WireWriter());
             counts.assign(cfg.shards, 0);
           }
+          // Drains every shm peer frame and, when this worker's phase A
+          // succeeded, merges them into the projected view and stages the
+          // deliveries in the back buffers. Shared by the strict order
+          // (drain after the verdict) and the pipelined order (drain
+          // speculatively before it). A ShardError (peer death, garbled
+          // ring) exits the worker so the coordinator sees EOF and fails
+          // with it; the rings are always left empty for the next round's
+          // pre-write.
+          auto drainAndStageShm = [&](ShmSendState& shmSend, bool stage,
+                                      std::vector<std::vector<Message>>& ownRef) {
+            std::vector<WireReader> frames =
+                finishShmExchange(*cfg.shmArena, peers, s, shmSend);
+            if (!stage) {
+              cfg.shmArena->releaseInbound();
+              return;
+            }
+            std::vector<std::vector<Message>> projected(n);
+            for (std::size_t i = 0; i < local; ++i)
+              projected[lo + i] = std::move(ownRef[i]);
+            Arena& mergeArena = deliveryArena[1 - curArena];
+            mergeArena.reset();
+            try {
+              for (std::size_t t = 0; t < cfg.shards; ++t) {
+                if (t == s) continue;
+                const std::uint64_t count = frames[t].u64();
+                mergeSectionRows(frames[t], count,
+                                 shardRangeBegin(n, cfg.shards, t),
+                                 shardRangeEnd(n, cfg.shards, t), lo, hi,
+                                 projected, &mergeArena);
+              }
+            } catch (const ShardError&) {
+              throw;
+            } catch (const std::exception& e) {
+              // Validation is already settled source-side; a garbled frame
+              // here can only be transport corruption, so fail the backend.
+              throw ShardError(std::string("shm section merge: ") + e.what());
+            }
+            // The merge copied every inbound row out of the rings (ring
+            // bytes -> arena runs, the one copy on the whole path).
+            cfg.shmArena->releaseInbound();
+            installDeliveries(
+                indexByDst(projected, lo, hi, priorityWrite && !freePlacement),
+                projected);
+          };
+
           if (shmMode) {
-            // Fused single barrier (shm ring only). Sections are
-            // pre-written into the rings and validation is already split
-            // around the report (sources here, inbound sums at the
-            // coordinator), so ONE report and ONE verdict byte cover the
-            // whole round: by the time the commit verdict arrives, every
-            // peer has pre-written its frames — reports precede the
-            // verdict, pre-writes precede the reports — and the
-            // post-verdict drain completes without ever blocking. An
-            // abort drains and discards, never touching resident state —
-            // the two-phase guarantee at half the barrier waves.
+            // Fused single barrier (the shm ring's native conversation).
+            // Sections are pre-written into the rings and validation is
+            // already split around the report (sources here, inbound sums
+            // at the coordinator), so ONE report and ONE verdict frame
+            // cover the whole round: every pre-write precedes its report,
+            // so all frames exist before the verdict does. An abort drains
+            // and discards, never touching resident state — the two-phase
+            // guarantee at half the barrier waves. Pipelined rounds
+            // (overlap) drain/merge/stage *before* the verdict — every
+            // peer beginShmSend's unconditionally (error rounds ship empty
+            // sections), so the speculative drain cannot deadlock, and it
+            // only touches back buffers, so an abort discards it by simply
+            // not flipping.
             if (dieShard == static_cast<long>(s)) std::_Exit(4);
             ShmSendState shmSend =
                 beginShmSend(*cfg.shmArena, s, counts, sections, peers);
             {
               WireWriter r;
               r.u8(kind);
+              r.u64(epoch);
               if (kind == kOk) {
                 r.u64(words);
                 for (const std::uint64_t w : recvWords) r.u64(w);
@@ -233,21 +317,71 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
               }
               r.sendFramed(ctrl);
             }
+            if (overlap) drainAndStageShm(shmSend, kind == kOk, own);
             spinAwaitReadable(ctrl.fd());
             WireReader v = WireReader::recvFramed(ctrl);
-            const bool commit = kind == kOk && v.u8() == kGo;
-            // Drain every peer frame on commit AND abort — the rings must
-            // be empty again before the next round's pre-write. A
-            // ShardError (peer death, garbled ring) exits the worker so
-            // the coordinator sees EOF and fails with it.
-            std::vector<WireReader> frames =
-                finishShmExchange(*cfg.shmArena, peers, s, shmSend);
+            // Read the verdict byte unconditionally — error rounds must
+            // still consume it, or the epoch parse shifts by one byte.
+            const std::uint8_t verdict = v.u8();
+            const bool commit = kind == kOk && verdict == kGo;
+            if (v.u64() != epoch)
+              throw ShardError(
+                  "step barrier: verdict epoch mismatch (desynced stream)");
+            // Strict order: drain only after the verdict, stage on commit.
+            if (!overlap) drainAndStageShm(shmSend, commit, own);
             if (commit) {
-              std::vector<std::vector<Message>> projected(n);
-              for (std::size_t i = 0; i < local; ++i)
-                projected[lo + i] = std::move(own[i]);
-              Arena& mergeArena = deliveryArena[1 - curArena];
-              mergeArena.reset();
+              curArena = 1 - curArena;
+              curInbox = 1 - curInbox;
+            } else {
+              inboxBuf[1 - curInbox].assign(local, std::vector<Delivery>());
+            }
+            break;
+          }
+
+          if (overlap) {
+            // Pipelined socket/tcp mesh round: the fused conversation of
+            // the shm barrier, generalized. One report up (source verdict
+            // + inbound sums), then the worker speculatively exchanges and
+            // merges *before* the verdict — the sections travel the mesh
+            // while the coordinator is still totting up reports, and a
+            // fast worker that staged its deliveries parks at the verdict
+            // read, ready to flip and start round r+1's compute the moment
+            // the commit frame lands, while slow peers are still merging
+            // round r.
+            // Test-only fault: die before the report, as every peer is
+            // entering its speculative exchange — the peers see the death
+            // mid-mesh and the coordinator sees it on the report read, so
+            // the round (not a later one) fails for everyone.
+            if (dieShard == static_cast<long>(s)) std::_Exit(4);
+            {
+              WireWriter r;
+              r.u8(kind);
+              r.u64(epoch);
+              if (kind == kOk) {
+                r.u64(words);
+                for (const std::uint64_t w : recvWords) r.u64(w);
+              } else {
+                r.str(err);
+              }
+              r.sendFramed(ctrl);
+            }
+            // One communication budget for every wait left in the round,
+            // created *after* the compute so a slow kernel cannot spend
+            // it; a trickling peer drains it instead of resetting it.
+            DeadlineBudget budget(cfg.meshTimeoutMs);
+            // The exchange itself is NOT conditional on kind: a worker
+            // whose phase A failed still pumps the mesh (with its cleared,
+            // empty sections) so its peers' speculative drains complete —
+            // they are blocked in meshExchange before they ever read their
+            // abort verdict.
+            std::vector<std::vector<Message>> projected(n);
+            for (std::size_t i = 0; i < local; ++i)
+              projected[lo + i] = std::move(own[i]);
+            Arena& mergeArena = deliveryArena[1 - curArena];
+            mergeArena.reset();
+            std::vector<WireReader> frames =
+                meshExchange(peers, s, counts, sections, &budget);
+            if (kind == kOk) {
               try {
                 for (std::size_t t = 0; t < cfg.shards; ++t) {
                   if (t == s) continue;
@@ -260,21 +394,30 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
               } catch (const ShardError&) {
                 throw;
               } catch (const std::exception& e) {
-                // The round is already committed; a garbled frame here can
-                // only be transport corruption, so fail the backend.
-                throw ShardError(std::string("shm post-commit merge: ") +
+                // Validation is settled source-side; a garbled peer frame
+                // can only be transport corruption — fail the backend.
+                throw ShardError(std::string("pipelined section merge: ") +
                                  e.what());
               }
-              // The merge copied every inbound row out of the rings (ring
-              // bytes -> arena runs, the one copy on the whole path).
-              cfg.shmArena->releaseInbound();
               installDeliveries(
                   indexByDst(projected, lo, hi,
                              priorityWrite && !freePlacement),
                   projected);
+            }
+            spinAwaitReadable(ctrl.fd(), &budget);
+            WireReader v = WireReader::recvFramed(ctrl);
+            const std::uint8_t verdict = v.u8();
+            const bool commit = kind == kOk && verdict == kGo;
+            if (v.u64() != epoch)
+              throw ShardError(
+                  "step barrier: verdict epoch mismatch (desynced stream)");
+            if (commit) {
               curArena = 1 - curArena;
+              curInbox = 1 - curInbox;
             } else {
-              cfg.shmArena->releaseInbound();
+              // Abort at round r discards all speculative state: the back
+              // buffers are cleared, the front buffers were never touched.
+              inboxBuf[1 - curInbox].assign(local, std::vector<Delivery>());
             }
             break;
           }
@@ -319,10 +462,14 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
             projected[lo + i] = std::move(own[i]);
           Arena& mergeArena = deliveryArena[1 - curArena];
           mergeArena.reset();
+          // Strict rounds spend one communication budget too: the mesh
+          // waits share a single deadline seeded after phase A, so a
+          // trickling peer exhausts it instead of resetting it per wait.
+          DeadlineBudget budget(cfg.meshTimeoutMs);
           try {
             if (peerMode) {
               std::vector<WireReader> frames =
-                  meshExchange(peers, s, counts, sections, cfg.meshTimeoutMs);
+                  meshExchange(peers, s, counts, sections, &budget);
               for (std::size_t t = 0; t < cfg.shards; ++t) {
                 if (t == s) continue;
                 const std::uint64_t count = frames[t].u64();
@@ -363,6 +510,7 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
               indexByDst(projected, lo, hi, priorityWrite && !freePlacement),
               projected);
           curArena = 1 - curArena;
+          curInbox = 1 - curInbox;
           break;
         }
 
@@ -414,6 +562,7 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
           if (updateResident) {
             installDeliveries(byDst, projected);
             curArena = 1 - curArena;
+            curInbox = 1 - curInbox;
           }
           break;
         }
@@ -426,7 +575,8 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
           try {
             StepKernel& ker = ensureInstance(kid);
             pool.parallelFor(local, [&](std::size_t i) {
-              ker.local(KernelCtx{lo + i, n, inboxes[i], args, store});
+              ker.local(
+                  KernelCtx{lo + i, n, inboxBuf[curInbox][i], args, store});
             });
           } catch (...) {
             kind = classify(err);
@@ -444,7 +594,8 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
           try {
             StepKernel& ker = ensureInstance(kid);
             pool.parallelFor(local, [&](std::size_t i) {
-              out[i] = ker.fetch(KernelCtx{lo + i, n, inboxes[i], args, store});
+              out[i] = ker.fetch(
+                  KernelCtx{lo + i, n, inboxBuf[curInbox][i], args, store});
             });
           } catch (...) {
             kind = classify(err);
@@ -519,7 +670,7 @@ void runResidentWorker(const WorkerConfig& cfg, Channel& ctrl,
 
         case kOpFetchInboxes: {
           WireWriter w;
-          for (const std::vector<Delivery>& inbox : inboxes) {
+          for (const std::vector<Delivery>& inbox : inboxBuf[curInbox]) {
             w.u64(inbox.size());
             for (const Delivery& d : inbox) {
               w.u64(d.src);
@@ -551,7 +702,8 @@ void sendWorkerSetup(Channel& ch, std::size_t numMachines, std::size_t shards,
                      const Topology& topology,
                      const std::vector<KernelRegistration>* kernels,
                      const BlockStore* blocks,
-                     const std::vector<std::vector<Delivery>>* inboxes) {
+                     const std::vector<std::vector<Delivery>>* inboxes,
+                     bool pipelined) {
   if (topology.wireKind() == Topology::WireKind::kOpaque)
     throw ShardError(
         "tcp remote workers need a wire-serializable topology (a custom "
@@ -564,6 +716,7 @@ void sendWorkerSetup(Channel& ch, std::size_t numMachines, std::size_t shards,
   w.u64(shards);
   w.u64(shard);
   w.u64(threads);
+  w.u8(pipelined ? 1 : 0);
   w.u8(static_cast<std::uint8_t>(topology.wireKind()));
   w.u64(topology.wireParam());
   const std::size_t kernelCount = kernels ? kernels->size() : 0;
@@ -610,6 +763,7 @@ RemoteSetup readWorkerSetup(Channel& ch) {
       setup.cfg.shards > setup.cfg.numMachines ||
       setup.cfg.shard >= setup.cfg.shards || setup.cfg.threads == 0)
     throw ShardError("tcp setup: implausible engine dimensions");
+  setup.cfg.pipelined = r.u8() != 0;
   const std::uint8_t topoKind = r.u8();
   const std::uint64_t topoParam = r.u64();
   try {

@@ -54,9 +54,16 @@ struct WorkerConfig {
   const Topology* topology = nullptr;
   Transport transport = Transport::kSocketMesh;
   ShmArena* shmArena = nullptr;
-  /// Per-blocking-wait deadline of the peer exchange polls (ms; < 0 =
-  /// forever). Same-host meshes pass -1; tcp passes its channel deadline.
+  /// Total communication budget of one round's peer-exchange waits (ms;
+  /// < 0 = unbounded). Same-host meshes pass -1; tcp passes its channel
+  /// deadline. Seeded into one DeadlineBudget per round — shared across
+  /// every wait, so a trickling peer spends it rather than resetting it.
   int meshTimeoutMs = -1;
+  /// Engine-level pipeline mode (informational — the authoritative
+  /// per-round overlap decision rides each kOpStep frame's mode byte;
+  /// this mirrors ShardedEngine::pipelined() for diagnostics and the
+  /// remote SETUP frame).
+  bool pipelined = false;
 };
 
 /// Runs the resident command loop until SHUTDOWN or wire EOF (both return
@@ -84,7 +91,8 @@ void sendWorkerSetup(Channel& ch, std::size_t numMachines, std::size_t shards,
                      const Topology& topology,
                      const std::vector<KernelRegistration>* kernels,
                      const BlockStore* blocks,
-                     const std::vector<std::vector<Delivery>>* inboxes);
+                     const std::vector<std::vector<Delivery>>* inboxes,
+                     bool pipelined = false);
 
 /// What readWorkerSetup materializes from the frame. `cfg.topology` points
 /// at `topology`; move the struct as a unit.

@@ -112,6 +112,21 @@ class Topology {
       std::size_t numMachines,
       const std::vector<std::uint64_t>& received) const;
 
+  /// Round independence for the pipelined shard barrier: true when a round
+  /// of this topology can commit off the *fused* single-verdict barrier —
+  /// i.e. when validateSources() + validateInbound() together check exactly
+  /// what validateSlice() checks, so no post-exchange validation wave is
+  /// needed and consecutive rounds may overlap (a worker that shipped its
+  /// sections starts the next round's local phase while late peers still
+  /// stream). The base class only promises that split for free placement
+  /// rounds (nothing is validated there); a subclass whose constraints are
+  /// fully covered by the source/inbound halves overrides this to return
+  /// true unconditionally — all three built-in topologies do. A custom
+  /// subclass that only implements validateSlice() keeps the strict
+  /// two-phase barrier (and the shm transport falls back to the socket
+  /// mesh), so its checks always run.
+  virtual bool canOverlap(bool freePlacement) const { return freePlacement; }
+
   virtual Mode mode() const { return Mode::kDeliverAll; }
 };
 
@@ -135,6 +150,9 @@ class MpcTopology final : public Topology {
   void validateInbound(
       std::size_t numMachines,
       const std::vector<std::uint64_t>& received) const override;
+  // Send budgets are source-side, receive budgets ride the inbound sums:
+  // the two halves cover validateSlice exactly, every round.
+  bool canOverlap(bool) const override { return true; }
 
  private:
   std::size_t wordsPerMachine_;
@@ -151,6 +169,8 @@ class CliqueTopology final : public Topology {
       std::size_t numMachines,
       const std::vector<std::vector<Message>>& sliceOutboxes,
       std::size_t begin) const override;
+  // Pair-uniqueness and single-word checks are fully source-side.
+  bool canOverlap(bool) const override { return true; }
 };
 
 class PramTopology final : public Topology {
@@ -164,6 +184,8 @@ class PramTopology final : public Topology {
       std::size_t numMachines,
       const std::vector<std::vector<Message>>& sliceOutboxes,
       std::size_t begin) const override;
+  // Single-word cell writes are checked entirely at the source.
+  bool canOverlap(bool) const override { return true; }
   Mode mode() const override { return Mode::kPriorityWrite; }
 };
 

@@ -110,6 +110,10 @@ int main(int argc, char** argv) {
             "socket (PR-5 socket mesh), tcp (rendezvous mesh, cross-machine "
             "capable), relay (coordinator relay); empty = MPCSPAN_TCP_EXCHANGE "
             "/ MPCSPAN_SHM_EXCHANGE / MPCSPAN_PEER_EXCHANGE defaults")
+      .flag("pipeline", "",
+            "pipelined resident rounds: on (overlap cross-shard delivery "
+            "with the next round's local phase, the default), off (strict "
+            "barrier, the bit-identical reference); empty = MPCSPAN_PIPELINE")
       .flag("seed", "1", "random seed")
       .flag("verify", "false", "audit stretch (sampled) before exiting")
       .flag("out", "", "write the spanner as an edge list to this path");
@@ -145,14 +149,24 @@ int main(int argc, char** argv) {
         transport = runtime::Transport::kRelay;
       else if (!transportName.empty())
         throw std::invalid_argument("unknown --transport: " + transportName);
+      const std::string pipelineName = args.get("pipeline");
+      int pipeline = -1;
+      if (pipelineName == "on")
+        pipeline = 1;
+      else if (pipelineName == "off")
+        pipeline = 0;
+      else if (!pipelineName.empty())
+        throw std::invalid_argument("unknown --pipeline: " + pipelineName +
+                                    " (expected on or off)");
       // Negative counts fall back to the defaults (0 = env var / hardware),
       // matching the env vars' own garbage handling.
       MpcSimulator sim(
           MpcConfig::forInput(8 * g.numEdges(), args.getDouble("gamma"), 3.0),
           static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("threads"))),
           static_cast<std::size_t>(std::max<std::int64_t>(0, args.getInt("shards"))),
-          /*resident=*/-1, transport);
-      std::fprintf(stdout, "simulator: %zu machines x %zu words, %zu shard(s)%s\n",
+          /*resident=*/-1, transport, pipeline);
+      std::fprintf(stdout,
+                   "simulator: %zu machines x %zu words, %zu shard(s)%s%s\n",
                    sim.numMachines(), sim.wordsPerMachine(), sim.numShards(),
                    sim.numShards() > 1
                        ? (sim.residentShards()
@@ -166,6 +180,10 @@ int main(int argc, char** argv) {
                                                    : " (resident workers, "
                                                      "coordinator relay)")))
                               : " (fork per round)")
+                       : "",
+                   sim.numShards() > 1 && sim.residentShards()
+                       ? (sim.pipelinedShards() ? " [pipelined rounds]"
+                                                : " [strict barrier]")
                        : "");
       const DistSpannerResult r =
           algo == "dist-tradeoff"
