@@ -28,7 +28,8 @@ std::pair<double, double> auditApprox(const Graph& g, MpcApspResult& r,
   r.oracle.warm(srcs, pool);
   for (const VertexId src : srcs) {
     const auto exact = dijkstra(g, src);
-    const auto& approx = r.oracle.distancesFrom(src);
+    const auto approxRow = r.oracle.distancesFrom(src);
+    const auto& approx = *approxRow;
     for (VertexId v = 0; v < g.numVertices(); ++v)
       if (v != src && exact[v] != kInfDist && exact[v] > 0)
         ratios.push_back(approx[v] / exact[v]);

@@ -1,6 +1,6 @@
 #include "apsp/oracle.hpp"
 
-#include <algorithm>
+#include <unordered_set>
 
 #include "graph/connectivity.hpp"
 #include "graph/distance.hpp"
@@ -11,38 +11,44 @@ SpannerDistanceOracle::SpannerDistanceOracle(const Graph& g, SpannerResult spann
                                              std::size_t cacheSources)
     : spanner_(std::move(spanner)),
       h_(subgraph(g, spanner_.edges)),
-      cacheSources_(cacheSources) {}
+      cache_(cacheSources) {}
 
-void SpannerDistanceOracle::warm(const std::vector<VertexId>& sources,
-                                 runtime::ThreadPool& pool) {
+std::size_t SpannerDistanceOracle::warm(const std::vector<VertexId>& sources,
+                                        runtime::ThreadPool& pool) {
   std::vector<VertexId> missing;
   missing.reserve(sources.size());
+  std::unordered_set<VertexId> seen;
   for (VertexId s : sources)
-    if (cache_.find(s) == cache_.end() &&
-        std::find(missing.begin(), missing.end(), s) == missing.end())
-      missing.push_back(s);
-  // Never compute more than the cache retains, and evict at most once, up
-  // front — mid-batch eviction would discard results computed moments ago.
-  if (missing.size() > cacheSources_) missing.resize(cacheSources_);
-  if (missing.empty()) return;
-  if (cache_.size() + missing.size() > cacheSources_) cache_.clear();
+    if (seen.insert(s).second && !cache_.contains(s)) missing.push_back(s);
+  // Never compute more than the cache retains: sources past the capacity
+  // are dropped (and reported via the return value) rather than churning
+  // rows warmed moments ago out of the LRU.
+  if (missing.size() > cache_.capacity()) missing.resize(cache_.capacity());
+  if (missing.empty()) return 0;
   std::vector<std::vector<Weight>> dist(missing.size());
   pool.parallelFor(missing.size(),
                    [&](std::size_t i) { dist[i] = dijkstra(h_, missing[i]); });
+  // Insertion order follows `sources`, independent of the thread count.
   for (std::size_t i = 0; i < missing.size(); ++i)
-    cache_.emplace(missing[i], std::move(dist[i]));
+    cache_.insertOrGet(missing[i],
+                       std::make_shared<const std::vector<Weight>>(
+                           std::move(dist[i])));
+  return missing.size();
 }
 
-const std::vector<Weight>& SpannerDistanceOracle::distancesFrom(VertexId src) {
-  auto it = cache_.find(src);
-  if (it != cache_.end()) return it->second;
-  if (cache_.size() >= cacheSources_) cache_.clear();  // APSP sweeps sources once
-  return cache_.emplace(src, dijkstra(h_, src)).first->second;
+SpannerDistanceOracle::DistRow SpannerDistanceOracle::distancesFrom(
+    VertexId src) const {
+  return cache_.getOrCompute(src, [&] { return dijkstra(h_, src); });
 }
 
-Weight SpannerDistanceOracle::query(VertexId u, VertexId v) {
+SpannerDistanceOracle::DistRow SpannerDistanceOracle::cachedDistancesFrom(
+    VertexId src) const {
+  return cache_.get(src);
+}
+
+Weight SpannerDistanceOracle::query(VertexId u, VertexId v) const {
   if (u == v) return 0;
-  return distancesFrom(u)[v];
+  return (*distancesFrom(u))[v];
 }
 
 }  // namespace mpcspan

@@ -1,22 +1,31 @@
 // SpannerDistanceOracle — the local half of the Section 7 APSP application:
 // once the near-linear-size spanner sits on one machine, that machine
-// answers any distance query by Dijkstra on the spanner. Per-source results
-// are cached (LRU-less bounded cache: the APSP use case touches every
-// source once, so a simple bound suffices).
+// answers any distance query by Dijkstra on the spanner.
+//
+// The per-source result rows live in a sharded, bounded LRU cache
+// (util/lru_cache.hpp), so the oracle is a *concurrent* serving structure:
+// query()/distancesFrom() are const and safe to call from any number of
+// threads, including while warm() is filling the cache from another thread.
+// Rows are handed out as shared_ptr — eviction never invalidates a row a
+// caller still holds.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "spanner/types.hpp"
+#include "util/lru_cache.hpp"
 
 namespace mpcspan {
 
 class SpannerDistanceOracle {
  public:
+  /// One cached row: all spanner distances from a source.
+  using DistRow = std::shared_ptr<const std::vector<Weight>>;
+
   /// Takes the host graph (for vertex count / ids) and the spanner to
   /// answer from. `cacheSources` bounds the number of cached Dijkstra runs.
   SpannerDistanceOracle(const Graph& g, SpannerResult spanner,
@@ -25,20 +34,36 @@ class SpannerDistanceOracle {
   const SpannerResult& spanner() const { return spanner_; }
   const Graph& spannerGraph() const { return h_; }
 
-  /// Upper bound on d_G(u,v): the spanner distance. kInfDist if disconnected.
-  Weight query(VertexId u, VertexId v);
+  /// Upper bound on d_G(u,v): the spanner distance. kInfDist if
+  /// disconnected. Thread-safe; computes (and caches) the source row on a
+  /// cache miss.
+  Weight query(VertexId u, VertexId v) const;
 
-  /// All approximate distances from src (cached).
-  const std::vector<Weight>& distancesFrom(VertexId src);
+  /// All approximate distances from src. Computes and caches on miss;
+  /// the returned row stays valid after eviction. Thread-safe.
+  DistRow distancesFrom(VertexId src) const;
+
+  /// Cache-only probe: the row for src if resident (promoted to MRU),
+  /// nullptr otherwise — never runs a Dijkstra. This is the "answer only
+  /// from warm cache" mode the tiered query plane uses to keep its middle
+  /// tier O(1). Thread-safe.
+  DistRow cachedDistancesFrom(VertexId src) const;
 
   /// Fills the cache for `sources` with one Dijkstra per source, run in
   /// parallel on `pool` — the "every node computes locally at once" step of
-  /// the APSP applications. Insertion order follows `sources`, independent
-  /// of the thread count. At most `cacheSources` entries are warmed: the
-  /// cache never computes more than it can retain, so sources past the cap
-  /// fall back to lazy computation in distancesFrom (which, past the cap,
-  /// evicts by clearing — batch accordingly).
-  void warm(const std::vector<VertexId>& sources, runtime::ThreadPool& pool);
+  /// the APSP applications. At most cacheCapacity() distinct uncached
+  /// sources are warmed (the cache never computes more than it can retain);
+  /// the rest fall back to lazy computation in distancesFrom. Returns the
+  /// number of rows actually computed and inserted by this call. Safe to
+  /// run while other threads query.
+  std::size_t warm(const std::vector<VertexId>& sources,
+                   runtime::ThreadPool& pool);
+
+  std::size_t cacheCapacity() const { return cache_.capacity(); }
+  /// Resident row count (O(shards); locks each cache shard).
+  std::size_t cachedRows() const { return cache_.size(); }
+  std::uint64_t cacheHits() const { return cache_.hits(); }
+  std::uint64_t cacheMisses() const { return cache_.misses(); }
 
   /// Memory footprint of the spanner in words (2 per edge), the quantity
   /// that must fit one machine in the near-linear regime.
@@ -47,8 +72,7 @@ class SpannerDistanceOracle {
  private:
   SpannerResult spanner_;
   Graph h_;
-  std::size_t cacheSources_;
-  std::unordered_map<VertexId, std::vector<Weight>> cache_;
+  mutable ShardedLruCache<VertexId, std::vector<Weight>> cache_;
 };
 
 }  // namespace mpcspan

@@ -1,7 +1,10 @@
 #include "apsp/sketches.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "graph/connectivity.hpp"
 #include "graph/distance.hpp"
@@ -17,6 +20,49 @@ using MinHeap = std::priority_queue<QItem, std::vector<QItem>, std::greater<>>;
 DistanceSketches::DistanceSketches(const Graph& g, const SketchParams& params)
     : k_(std::max<std::uint32_t>(params.k, 1)), n_(g.numVertices()) {
   build(g, params.seed);
+}
+
+DistanceSketches::DistanceSketches(SketchTables t)
+    : k_(t.k), n_(static_cast<std::size_t>(t.n)) {
+  if (k_ == 0) throw std::invalid_argument("sketch tables: k must be >= 1");
+  if (t.pivotDist.size() != k_ + 1 || t.pivot.size() != k_ + 1)
+    throw std::invalid_argument("sketch tables: pivot level count != k+1");
+  for (std::uint32_t i = 0; i <= k_; ++i)
+    if (t.pivotDist[i].size() != n_ || t.pivot[i].size() != n_)
+      throw std::invalid_argument("sketch tables: pivot row size != n");
+  if (t.bunchStart.size() != n_ + 1 || t.bunchStart.front() != 0)
+    throw std::invalid_argument("sketch tables: bad bunch offsets");
+  for (std::size_t v = 0; v < n_; ++v)
+    if (t.bunchStart[v] > t.bunchStart[v + 1])
+      throw std::invalid_argument("sketch tables: non-monotone bunch offsets");
+  if (t.bunchStart.back() != t.bunchW.size() ||
+      t.bunchW.size() != t.bunchDist.size())
+    throw std::invalid_argument("sketch tables: bunch array size mismatch");
+  for (VertexId w : t.bunchW)
+    if (w >= n_) throw std::invalid_argument("sketch tables: bunch vertex out of range");
+  if (t.levelSizes.size() != k_)
+    throw std::invalid_argument("sketch tables: level size count != k");
+  pivotDist_ = std::move(t.pivotDist);
+  pivot_ = std::move(t.pivot);
+  bunchStart_ = std::move(t.bunchStart);
+  bunchW_ = std::move(t.bunchW);
+  bunchDist_ = std::move(t.bunchDist);
+  levelSizes_ = std::move(t.levelSizes);
+  relaxations_ = static_cast<std::size_t>(t.relaxations);
+}
+
+SketchTables DistanceSketches::exportTables() const {
+  SketchTables t;
+  t.k = k_;
+  t.n = n_;
+  t.pivotDist = pivotDist_;
+  t.pivot = pivot_;
+  t.bunchStart = bunchStart_;
+  t.bunchW = bunchW_;
+  t.bunchDist = bunchDist_;
+  t.levelSizes = levelSizes_;
+  t.relaxations = relaxations_;
+  return t;
 }
 
 void DistanceSketches::build(const Graph& g, std::uint64_t seed) {
@@ -66,8 +112,11 @@ void DistanceSketches::build(const Graph& g, std::uint64_t seed) {
   }
 
   // Bunches: for each w in A_i \ A_{i+1}, a Dijkstra truncated to the
-  // region where d(w, v) < d(A_{i+1}, v).
-  bunch_.assign(n_, {});
+  // region where d(w, v) < d(A_{i+1}, v). Emissions are collected per
+  // vertex and flattened to w-sorted arrays afterwards; a vertex can be
+  // re-settled at its final distance along tied paths, so emissions are
+  // deduplicated by w (the duplicates carry the identical distance).
+  std::vector<std::vector<std::pair<VertexId, Weight>>> tmp(n_);
   std::vector<char> inNext(n_, 0);
   for (std::uint32_t i = 0; i < k_; ++i) {
     std::fill(inNext.begin(), inNext.end(), 0);
@@ -84,7 +133,7 @@ void DistanceSketches::build(const Graph& g, std::uint64_t seed) {
         heap.pop();
         const auto dv = dist.find(v);
         if (dv == dist.end() || d > dv->second) continue;
-        bunch_[v].emplace(w, d);
+        tmp[v].emplace_back(w, d);
         for (const Incidence& inc : g.neighbors(v)) {
           const Weight nd = d + g.edge(inc.edge).w;
           ++relaxations_;
@@ -98,6 +147,29 @@ void DistanceSketches::build(const Graph& g, std::uint64_t seed) {
       }
     }
   }
+
+  bunchStart_.assign(n_ + 1, 0);
+  for (std::size_t v = 0; v < n_; ++v) {
+    auto& b = tmp[v];
+    std::sort(b.begin(), b.end(),
+              [](const auto& a, const auto& c) { return a.first < c.first; });
+    b.erase(std::unique(b.begin(), b.end(),
+                        [](const auto& a, const auto& c) {
+                          return a.first == c.first;
+                        }),
+            b.end());
+    bunchStart_[v + 1] = bunchStart_[v] + b.size();
+  }
+  bunchW_.reserve(bunchStart_.back());
+  bunchDist_.reserve(bunchStart_.back());
+  for (std::size_t v = 0; v < n_; ++v) {
+    for (const auto& [w, d] : tmp[v]) {
+      bunchW_.push_back(w);
+      bunchDist_.push_back(d);
+    }
+    tmp[v].clear();
+    tmp[v].shrink_to_fit();
+  }
 }
 
 Weight DistanceSketches::query(VertexId u, VertexId v) const {
@@ -105,8 +177,11 @@ Weight DistanceSketches::query(VertexId u, VertexId v) const {
   VertexId w = u;
   Weight du = 0;  // d(w, u)
   for (std::uint32_t i = 0;; ) {
-    const auto it = bunch_[v].find(w);
-    if (it != bunch_[v].end()) return du + it->second;
+    const auto first = bunchW_.begin() + static_cast<std::ptrdiff_t>(bunchStart_[v]);
+    const auto last = bunchW_.begin() + static_cast<std::ptrdiff_t>(bunchStart_[v + 1]);
+    const auto it = std::lower_bound(first, last, w);
+    if (it != last && *it == w)
+      return du + bunchDist_[static_cast<std::size_t>(it - bunchW_.begin())];
     ++i;
     if (i >= k_) return kInfDist;
     std::swap(u, v);
@@ -116,10 +191,11 @@ Weight DistanceSketches::query(VertexId u, VertexId v) const {
   }
 }
 
-std::size_t DistanceSketches::totalBunchEntries() const {
-  std::size_t total = 0;
-  for (const auto& b : bunch_) total += b.size();
-  return total;
+std::size_t DistanceSketches::memoryWords() const {
+  // One word per stored scalar: pivot distance + pivot id per (level,
+  // vertex), the bunch offset array, and the two flat bunch arrays.
+  return 2 * (static_cast<std::size_t>(k_) + 1) * n_ + (n_ + 1) +
+         2 * bunchW_.size();
 }
 
 SpannerSketches buildSketchesOnSpanner(const Graph& g, const SpannerResult& spanner,

@@ -1,5 +1,7 @@
 #include "graph/io.hpp"
 
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -50,6 +52,286 @@ Graph readEdgeListFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   return readEdgeList(in);
+}
+
+// ---------------------------------------------------------------------------
+// SNAP / DIMACS whitespace edge lists
+
+namespace {
+
+[[noreturn]] void badLine(std::size_t lineNo, const std::string& why,
+                          const std::string& line) {
+  throw std::runtime_error("snap/dimacs line " + std::to_string(lineNo) + ": " +
+                           why + ": " + line);
+}
+
+// Strict non-negative integer token (no signs, no trailing junk).
+bool parseId(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  out = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (BinReader::kMaxCount - digit) / 10) return false;  // overflow cap
+    out = out * 10 + digit;
+  }
+  return true;
+}
+
+bool parseWeight(const std::string& tok, double& out) {
+  std::istringstream ss(tok);
+  if (!(ss >> out)) return false;
+  std::string leftover;
+  if (ss >> leftover) return false;
+  return std::isfinite(out) && out > 0.0;
+}
+
+}  // namespace
+
+Graph readSnapDimacs(std::istream& in) {
+  std::string line;
+  std::size_t lineNo = 0;
+  bool haveHeader = false;  // DIMACS "p sp n m"
+  std::uint64_t headerN = 0, headerM = 0, arcCount = 0;
+  // Staged (u, v, w) triples; vertex count fixed up afterwards for SNAP.
+  std::vector<Edge> staged;
+  std::uint64_t maxId = 0;
+  bool sawEdge = false;
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::istringstream ss(line);
+    std::string first;
+    if (!(ss >> first)) continue;  // blank
+    if (first[0] == '#' || first[0] == '%' || first == "c") continue;
+
+    if (first == "p") {
+      if (haveHeader) badLine(lineNo, "duplicate DIMACS header", line);
+      if (sawEdge) badLine(lineNo, "DIMACS header after edge data", line);
+      std::string problem, nTok, mTok, extra;
+      if (!(ss >> problem >> nTok >> mTok) || (ss >> extra))
+        badLine(lineNo, "malformed 'p' header (want 'p sp <n> <m>')", line);
+      if (problem != "sp")
+        badLine(lineNo, "unsupported DIMACS problem type '" + problem + "'", line);
+      if (!parseId(nTok, headerN) || !parseId(mTok, headerM))
+        badLine(lineNo, "non-numeric DIMACS header counts", line);
+      haveHeader = true;
+      continue;
+    }
+
+    std::string uTok, vTok, wTok, extra;
+    double w = 1.0;
+    if (first == "a") {
+      if (!haveHeader) badLine(lineNo, "arc line before 'p sp' header", line);
+      if (!(ss >> uTok >> vTok >> wTok) || (ss >> extra))
+        badLine(lineNo, "malformed arc (want 'a <u> <v> <w>')", line);
+      if (!parseWeight(wTok, w))
+        badLine(lineNo, "arc weight must be positive and finite", line);
+      ++arcCount;
+    } else {
+      if (haveHeader)
+        badLine(lineNo, "expected 'a' arc line after DIMACS header", line);
+      uTok = first;
+      if (!(ss >> vTok)) badLine(lineNo, "edge needs two endpoints", line);
+      if (ss >> wTok) {
+        if (ss >> extra) badLine(lineNo, "trailing tokens after edge", line);
+        if (!parseWeight(wTok, w))
+          badLine(lineNo, "edge weight must be positive and finite", line);
+      }
+    }
+
+    std::uint64_t u = 0, v = 0;
+    if (!parseId(uTok, u) || !parseId(vTok, v))
+      badLine(lineNo, "non-numeric vertex id", line);
+    if (haveHeader) {
+      // DIMACS ids are 1-indexed and bounded by the header.
+      if (u == 0 || v == 0 || u > headerN || v > headerN)
+        badLine(lineNo, "vertex id out of DIMACS range [1, n]", line);
+      --u;
+      --v;
+    }
+    maxId = std::max(maxId, std::max(u, v));
+    staged.push_back(Edge{static_cast<VertexId>(u), static_cast<VertexId>(v),
+                          static_cast<Weight>(w)});
+    sawEdge = true;
+  }
+  if (haveHeader && arcCount != headerM)
+    throw std::runtime_error("snap/dimacs: header promises " +
+                             std::to_string(headerM) + " arcs, file has " +
+                             std::to_string(arcCount));
+
+  const std::uint64_t n =
+      haveHeader ? headerN : (sawEdge ? maxId + 1 : 0);
+  if (n > BinReader::kMaxCount)
+    throw std::runtime_error("snap/dimacs: implausible vertex count " +
+                             std::to_string(n));
+  // GraphBuilder canonicalizes: drops self-loops, orients u < v, collapses
+  // parallel edges (and DIMACS forward/backward arc pairs) to min weight.
+  GraphBuilder b(static_cast<std::size_t>(n));
+  for (const Edge& e : staged) b.addEdge(e.u, e.v, e.w);
+  return b.build();
+}
+
+Graph readSnapDimacsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return readSnapDimacs(in);
+}
+
+// ---------------------------------------------------------------------------
+// Binary primitives
+
+void BinWriter::u32(std::uint32_t x) {
+  char buf[4];
+  std::memcpy(buf, &x, 4);
+  out_.write(buf, 4);
+}
+
+void BinWriter::u64(std::uint64_t x) {
+  char buf[8];
+  std::memcpy(buf, &x, 8);
+  out_.write(buf, 8);
+}
+
+void BinWriter::f64(double x) {
+  char buf[8];
+  std::memcpy(buf, &x, 8);
+  out_.write(buf, 8);
+}
+
+void BinWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinWriter::u32Vec(const std::vector<std::uint32_t>& xs) {
+  u64(xs.size());
+  for (std::uint32_t x : xs) u32(x);
+}
+
+void BinWriter::u64Vec(const std::vector<std::uint64_t>& xs) {
+  u64(xs.size());
+  for (std::uint64_t x : xs) u64(x);
+}
+
+void BinWriter::f64Vec(const std::vector<double>& xs) {
+  u64(xs.size());
+  for (double x : xs) f64(x);
+}
+
+void BinReader::bytes(void* dst, std::size_t len) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in_.gcount()) != len)
+    fail("truncated (unexpected end of stream)");
+}
+
+std::uint32_t BinReader::u32() {
+  std::uint32_t x;
+  bytes(&x, 4);
+  return x;
+}
+
+std::uint64_t BinReader::u64() {
+  std::uint64_t x;
+  bytes(&x, 8);
+  return x;
+}
+
+double BinReader::f64() {
+  double x;
+  bytes(&x, 8);
+  return x;
+}
+
+std::uint64_t BinReader::count(std::uint64_t maxCount) {
+  const std::uint64_t c = u64();
+  if (c > maxCount)
+    fail("implausible count " + std::to_string(c) + " (corrupt length field)");
+  return c;
+}
+
+std::string BinReader::str(std::uint64_t maxLen) {
+  const std::uint32_t len = u32();
+  if (len > maxLen) fail("implausible string length " + std::to_string(len));
+  std::string s(len, '\0');
+  if (len) bytes(s.data(), len);
+  return s;
+}
+
+std::vector<std::uint32_t> BinReader::u32Vec(std::uint64_t maxCount) {
+  const std::uint64_t c = count(maxCount);
+  std::vector<std::uint32_t> xs(static_cast<std::size_t>(c));
+  for (auto& x : xs) x = u32();
+  return xs;
+}
+
+std::vector<std::uint64_t> BinReader::u64Vec(std::uint64_t maxCount) {
+  const std::uint64_t c = count(maxCount);
+  std::vector<std::uint64_t> xs(static_cast<std::size_t>(c));
+  for (auto& x : xs) x = u64();
+  return xs;
+}
+
+std::vector<double> BinReader::f64Vec(std::uint64_t maxCount) {
+  const std::uint64_t c = count(maxCount);
+  std::vector<double> xs(static_cast<std::size_t>(c));
+  for (auto& x : xs) x = f64();
+  return xs;
+}
+
+void BinReader::expectEof() {
+  if (in_.peek() != std::char_traits<char>::eof())
+    fail("trailing bytes after payload");
+}
+
+void BinReader::fail(const std::string& why) const {
+  throw std::runtime_error(std::string(what_) + ": " + why);
+}
+
+// ---------------------------------------------------------------------------
+// Binary graph
+
+namespace {
+constexpr std::uint32_t kGraphMagic = 0x4247504du;  // "MPGB" little-endian
+constexpr std::uint32_t kGraphVersion = 1;
+}  // namespace
+
+void writeGraphBinary(const Graph& g, std::ostream& out) {
+  BinWriter w(out);
+  w.u32(kGraphMagic);
+  w.u32(kGraphVersion);
+  w.u64(g.numVertices());
+  w.u64(g.numEdges());
+  for (const Edge& e : g.edges()) {
+    w.u32(e.u);
+    w.u32(e.v);
+    w.f64(e.w);
+  }
+}
+
+Graph readGraphBinary(std::istream& in) {
+  BinReader r(in, "binary graph");
+  if (r.u32() != kGraphMagic) r.fail("bad magic (not an mpcspan binary graph)");
+  const std::uint32_t version = r.u32();
+  if (version != kGraphVersion)
+    r.fail("unsupported version " + std::to_string(version));
+  const std::uint64_t n = r.count();
+  const std::uint64_t m = r.count();
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    Edge e;
+    e.u = r.u32();
+    e.v = r.u32();
+    e.w = r.f64();
+    if (e.u >= n || e.v >= n) r.fail("edge endpoint out of range");
+    if (!(e.w > 0.0) || !std::isfinite(e.w))
+      r.fail("edge weight must be positive and finite");
+    edges.push_back(e);
+  }
+  // graphFromEdges re-canonicalizes; a Graph's own edges are already
+  // canonical, so ids round-trip unchanged.
+  return graphFromEdges(static_cast<std::size_t>(n), edges);
 }
 
 }  // namespace mpcspan

@@ -1,0 +1,15 @@
+#include "query/provider.hpp"
+
+#include <stdexcept>
+
+namespace mpcspan::query {
+
+void DistanceProvider::queryBatch(std::span<const QueryPair> pairs,
+                                  std::span<Weight> out) const {
+  if (pairs.size() != out.size())
+    throw std::invalid_argument("queryBatch: pairs/out size mismatch");
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    out[i] = query(pairs[i].first, pairs[i].second);
+}
+
+}  // namespace mpcspan::query

@@ -1,0 +1,68 @@
+// The query plane's provider contract.
+//
+// A DistanceProvider answers point-to-point distance estimates over a fixed
+// vertex set. The contract every implementation must satisfy:
+//
+//  - query(u, v) returns an estimate d with d(u,v) <= d <= stretchBound() *
+//    d(u,v) for connected pairs, kInfDist for disconnected pairs, and 0 for
+//    u == v.
+//  - All query methods are const and thread-safe: any number of threads may
+//    call them concurrently, including concurrently with provider-specific
+//    mutation entry points that declare themselves concurrent-safe (e.g.
+//    SpannerDistanceOracle::warm). Implementations achieve this with
+//    immutable state or internal synchronization — callers never lock.
+//  - tryQuery(u, v) additionally may *decline*: it returns kNoAnswer when
+//    this provider cannot answer the pair cheaply (e.g. a cache-only tier
+//    whose row is cold). query() never declines.
+//
+// kInfDist is an answer ("disconnected"), kNoAnswer is the absence of one;
+// composite providers (TieredOracle) rely on the distinction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace mpcspan::query {
+
+/// Sentinel returned by tryQuery when a provider declines to answer.
+/// Distances are always >= 0, so -1 is unambiguous.
+inline constexpr Weight kNoAnswer = -1.0;
+
+using QueryPair = std::pair<VertexId, VertexId>;
+
+class DistanceProvider {
+ public:
+  virtual ~DistanceProvider() = default;
+
+  /// Short stable identifier ("exact", "sketch", "spanner-cache", ...).
+  virtual std::string name() const = 0;
+
+  /// Vertex count of the universe this provider answers over.
+  virtual std::size_t numVertices() const = 0;
+
+  /// Distance estimate per the contract above. Never returns kNoAnswer.
+  virtual Weight query(VertexId u, VertexId v) const = 0;
+
+  /// Like query(), but may return kNoAnswer to decline the pair. The
+  /// default never declines.
+  virtual Weight tryQuery(VertexId u, VertexId v) const { return query(u, v); }
+
+  /// query() for each pairs[i] into out[i]. out.size() must equal
+  /// pairs.size(). The default loops over query(); implementations may
+  /// batch for locality.
+  virtual void queryBatch(std::span<const QueryPair> pairs,
+                          std::span<Weight> out) const;
+
+  /// Certified multiplicative stretch: query(u,v) <= stretchBound()*d(u,v).
+  virtual double stretchBound() const = 0;
+
+  /// Resident size in 8-byte words.
+  virtual std::size_t memoryWords() const = 0;
+};
+
+}  // namespace mpcspan::query

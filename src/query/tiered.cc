@@ -1,0 +1,81 @@
+#include "query/tiered.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace mpcspan::query {
+
+TieredOracle::TieredOracle(
+    std::vector<std::shared_ptr<const DistanceProvider>> tiers)
+    : tiers_(std::move(tiers)), counters_(tiers_.size()) {
+  if (tiers_.empty())
+    throw std::invalid_argument("TieredOracle: needs at least one tier");
+  for (const auto& t : tiers_)
+    if (!t) throw std::invalid_argument("TieredOracle: null tier");
+  for (const auto& t : tiers_)
+    if (t->numVertices() != tiers_.front()->numVertices())
+      throw std::invalid_argument(
+          "TieredOracle: tiers disagree on vertex count");
+}
+
+std::size_t TieredOracle::numVertices() const {
+  return tiers_.front()->numVertices();
+}
+
+Weight TieredOracle::query(VertexId u, VertexId v) const {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t last = tiers_.size() - 1;
+  for (std::size_t i = 0; i <= last; ++i) {
+    Counters& c = counters_[i];
+    c.attempts.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    const Weight w = tiers_[i]->tryQuery(u, v);
+    const auto dt = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+    c.nanos.fetch_add(dt, std::memory_order_relaxed);
+    // Accept unless declined, or "infinite" from a non-final tier (whose
+    // approximation may simply not reach the pair).
+    if (w != kNoAnswer && (i == last || w != kInfDist)) {
+      c.hits.fetch_add(1, std::memory_order_relaxed);
+      return w;
+    }
+  }
+  // Every tier declined (possible only when the last tier's tryQuery can
+  // decline); report disconnected.
+  return kInfDist;
+}
+
+double TieredOracle::stretchBound() const {
+  double s = 1.0;
+  for (const auto& t : tiers_) s = std::max(s, t->stretchBound());
+  return s;
+}
+
+std::size_t TieredOracle::memoryWords() const {
+  std::size_t w = 0;
+  for (const auto& t : tiers_) w += t->memoryWords();
+  return w;
+}
+
+std::vector<TierStats> TieredOracle::stats() const {
+  std::vector<TierStats> out(tiers_.size());
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    out[i].name = tiers_[i]->name();
+    out[i].attempts = counters_[i].attempts.load(std::memory_order_relaxed);
+    out[i].hits = counters_[i].hits.load(std::memory_order_relaxed);
+    out[i].nanos = counters_[i].nanos.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void TieredOracle::resetStats() {
+  for (auto& c : counters_) {
+    c.attempts.store(0, std::memory_order_relaxed);
+    c.hits.store(0, std::memory_order_relaxed);
+    c.nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mpcspan::query

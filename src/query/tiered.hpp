@@ -1,0 +1,70 @@
+// TieredOracle: a DistanceProvider composed of cheaper-to-costlier tiers.
+//
+// query(u, v) walks the tiers in order, calling tryQuery on each. A tier's
+// answer is accepted when it is not kNoAnswer and — for every tier but the
+// last — not kInfDist: a non-final tier saying "infinite" may just mean its
+// approximation can't see the connection (e.g. an eviction-cold cache), so
+// the pair falls through to a stronger tier. The final tier's answer is
+// returned as-is (its kInfDist is authoritative: disconnected).
+//
+// The canonical stack (makeQueryPlane in build.hpp):
+//   sketch (O(k) lookup)  ->  spanner-cache (O(1), declines when cold)
+//     ->  exact (Dijkstra fallback).
+//
+// Per-tier attempt/hit/latency counters are relaxed atomics — query() is
+// const and thread-safe whenever every tier is (the provider contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/provider.hpp"
+
+namespace mpcspan::query {
+
+struct TierStats {
+  std::string name;
+  std::uint64_t attempts = 0;
+  std::uint64_t hits = 0;     // answers accepted from this tier
+  std::uint64_t nanos = 0;    // total time spent in this tier's tryQuery
+};
+
+class TieredOracle final : public DistanceProvider {
+ public:
+  /// Tiers in probe order, cheapest first. Throws std::invalid_argument if
+  /// empty, any tier is null, or the tiers disagree on numVertices().
+  explicit TieredOracle(
+      std::vector<std::shared_ptr<const DistanceProvider>> tiers);
+
+  std::string name() const override { return "tiered"; }
+  std::size_t numVertices() const override;
+  Weight query(VertexId u, VertexId v) const override;
+  /// Max over tiers — any tier's accepted answer satisfies it.
+  double stretchBound() const override;
+  std::size_t memoryWords() const override;
+
+  std::size_t numTiers() const { return tiers_.size(); }
+  const DistanceProvider& tier(std::size_t i) const { return *tiers_[i]; }
+
+  /// Snapshot of per-tier counters (monotone since construction or the
+  /// last resetStats).
+  std::vector<TierStats> stats() const;
+  void resetStats();
+
+ private:
+  struct Counters {
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> nanos{0};
+  };
+
+  std::vector<std::shared_ptr<const DistanceProvider>> tiers_;
+  // Sized once at construction; atomics are immovable so the vector is
+  // never resized.
+  mutable std::vector<Counters> counters_;
+};
+
+}  // namespace mpcspan::query

@@ -1,0 +1,182 @@
+// Sharded bounded LRU cache for the hot query path.
+//
+// The map is split into independently locked shards (key -> shard by mixed
+// hash), so N reader threads promote/miss/insert concurrently while a
+// warmer fills other shards. Values are handed out as
+// shared_ptr<const Value>: eviction never invalidates a row a reader is
+// still holding, which is what lets SpannerDistanceOracle::query stay a
+// const, thread-safe operation under cache churn.
+//
+// Capacity is global; each shard enforces its own quota (capacity split
+// round-robin across shards), so the total resident count never exceeds
+// `capacity`, while a skewed key distribution may evict inside a hot shard
+// before the global count reaches it. Exact LRU order is guaranteed within
+// a shard (construct with shards=1 for a strict LRU).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mpcspan {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  /// `capacity` bounds the total resident entries across all shards;
+  /// capacity 0 disables retention (every lookup misses, inserts are
+  /// dropped). `shards` is clamped to [1, max(1, capacity)]; 0 selects the
+  /// default of min(8, capacity).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 0)
+      : capacity_(capacity) {
+    const std::size_t maxUseful = std::max<std::size_t>(1, capacity);
+    if (shards == 0) shards = std::min<std::size_t>(8, maxUseful);
+    shards = std::min(std::max<std::size_t>(1, shards), maxUseful);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      auto s = std::make_unique<Shard>();
+      s->cap = capacity / shards + (i < capacity % shards ? 1 : 0);
+      shards_.push_back(std::move(s));
+    }
+  }
+
+  /// Movable for construction-time handoff only (the atomic counters are
+  /// snapshotted); must not race concurrent users of `other`.
+  ShardedLruCache(ShardedLruCache&& other) noexcept
+      : capacity_(other.capacity_),
+        shards_(std::move(other.shards_)),
+        hits_(other.hits_.load(std::memory_order_relaxed)),
+        misses_(other.misses_.load(std::memory_order_relaxed)) {}
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(ShardedLruCache&&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t numShards() const { return shards_.size(); }
+
+  /// Total resident entries (locks every shard; O(shards)).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      total += s->map.size();
+    }
+    return total;
+  }
+
+  /// Returns the cached value (promoted to most-recently-used) or nullptr.
+  ValuePtr get(const Key& key) {
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// True if resident; no promotion, no hit/miss accounting.
+  bool contains(const Key& key) const {
+    const Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.map.find(key) != s.map.end();
+  }
+
+  /// Inserts (or promotes an existing entry for) `key` and returns the
+  /// resident value. When a concurrent caller raced the same key in first,
+  /// the earlier value wins and is returned — with a deterministic compute
+  /// function both copies are identical, so callers cannot observe the race.
+  ValuePtr insertOrGet(const Key& key, ValuePtr value) {
+    Shard& s = shardFor(key);
+    std::lock_guard<std::mutex> lock(s.m);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return it->second->second;
+    }
+    if (s.cap == 0) return value;  // retention disabled for this shard
+    s.lru.emplace_front(key, std::move(value));
+    s.map.emplace(key, s.lru.begin());
+    while (s.map.size() > s.cap) {
+      s.map.erase(s.lru.back().first);
+      s.lru.pop_back();
+    }
+    return s.lru.front().second;
+  }
+
+  /// get() or, on miss, compute the value *outside* the shard lock (the
+  /// compute is the expensive part — a Dijkstra run) and insert it.
+  /// `fn()` must be deterministic per key: racing computes may duplicate
+  /// work, but the first inserted value is the one every caller sees.
+  template <typename Fn>
+  ValuePtr getOrCompute(const Key& key, Fn&& fn) {
+    if (ValuePtr hit = get(key)) return hit;
+    auto computed = std::make_shared<const Value>(fn());
+    return insertOrGet(key, std::move(computed));
+  }
+
+  void clear() {
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      s->map.clear();
+      s->lru.clear();
+    }
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Resident keys in most-to-least-recently-used order within each shard,
+  /// shards concatenated in index order (test/introspection helper).
+  std::vector<Key> keysByRecency() const {
+    std::vector<Key> keys;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->m);
+      for (const auto& [k, v] : s->lru) keys.push_back(k);
+    }
+    return keys;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex m;
+    std::list<std::pair<Key, ValuePtr>> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<std::pair<Key, ValuePtr>>::iterator,
+                       Hash>
+        map;
+    std::size_t cap = 0;
+  };
+
+  Shard& shardFor(const Key& key) {
+    return *shards_[shardIndex(key)];
+  }
+  const Shard& shardFor(const Key& key) const {
+    return *shards_[shardIndex(key)];
+  }
+  std::size_t shardIndex(const Key& key) const {
+    // std::hash of an integer key is typically the identity; remix so
+    // consecutive keys spread across shards instead of striding.
+    return static_cast<std::size_t>(
+        mix64(static_cast<std::uint64_t>(Hash{}(key))) % shards_.size());
+  }
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace mpcspan

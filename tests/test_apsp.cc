@@ -61,7 +61,8 @@ TEST(MpcApsp, ApproximationWithinCertifiedBound) {
   const Graph g = gnmRandom(500, 4000, rng, {WeightModel::kUniform, 20.0}, true);
   auto r = runMpcApsp(g, {.seed = 2});
   const auto exact = dijkstra(g, 42);
-  const auto& approx = r.oracle.distancesFrom(42);
+  const auto approxRow = r.oracle.distancesFrom(42);
+  const auto& approx = *approxRow;
   double worst = 1.0;
   for (VertexId v = 0; v < g.numVertices(); ++v) {
     if (v == 42 || exact[v] == kInfDist || exact[v] == 0) continue;

@@ -52,15 +52,16 @@ TEST(Oracle, DisconnectedQueriesAreInfinite) {
   EXPECT_DOUBLE_EQ(oracle.query(0, 1), 2.0);
 }
 
-TEST(Oracle, DistancesFromReturnsStableReference) {
+TEST(Oracle, DistancesFromReturnsStableRow) {
   Rng rng(2);
   const Graph g = gnmRandom(60, 200, rng, {}, true);
   auto spanner = buildBaswanaSen(g, {.k = 2, .seed = 2});
   SpannerDistanceOracle oracle(g, std::move(spanner));
-  const auto& d1 = oracle.distancesFrom(3);
-  const auto& d2 = oracle.distancesFrom(3);  // cached
-  EXPECT_EQ(&d1, &d2);
-  EXPECT_DOUBLE_EQ(d1[3], 0.0);
+  const auto d1 = oracle.distancesFrom(3);
+  const auto d2 = oracle.distancesFrom(3);  // cached
+  EXPECT_EQ(d1.get(), d2.get());
+  EXPECT_DOUBLE_EQ((*d1)[3], 0.0);
+  EXPECT_GE(oracle.cacheHits(), 1u);
 }
 
 TEST(Generators, MakeFamilyGeometricWeighted) {

@@ -9,19 +9,31 @@
 //   mpcspan --input graph.txt --algo baswana-sen --k 4
 //   mpcspan --algo dist-tradeoff --n 2000 --k 8 --shards 4 --threads 2
 //
+// Subcommands wire up the build-once / serve-many query plane (src/query):
+//
+//   mpcspan build-oracle --n 2000 --algo tradeoff --k 6 --out g.mpqa
+//   mpcspan query --artifact g.mpqa --queries 20000 --threads 4
+//
 // The dist-* algorithms run end-to-end on the word-accurate MPC machine
 // simulator; --threads sets the stepping-pool lanes and --shards the worker
 // processes of the sharded runtime backend (0 = MPCSPAN_THREADS /
 // MPCSPAN_SHARDS env defaults).
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "graph/connectivity.hpp"
+#include "graph/distance.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mpc/dist_spanner.hpp"
+#include "query/build.hpp"
+#include "runtime/thread_pool.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/cluster_merging.hpp"
 #include "spanner/sqrtk.hpp"
@@ -34,8 +46,29 @@ using namespace mpcspan;
 
 namespace {
 
+Graph loadGraphFile(const std::string& path, const std::string& format) {
+  if (format == "mpcspan") return readEdgeListFile(path);
+  if (format == "snap") return readSnapDimacsFile(path);
+  if (format != "auto")
+    throw std::invalid_argument("unknown --format: " + format +
+                                " (want auto|mpcspan|snap)");
+  // Sniff: mpcspan edge lists start with an "n <count>" header line.
+  std::ifstream probe(path);
+  if (!probe) throw std::runtime_error("cannot open for read: " + path);
+  std::string line, tok;
+  while (std::getline(probe, line)) {
+    std::istringstream ss(line);
+    if (!(ss >> tok)) continue;
+    if (tok[0] == '#' || tok[0] == '%') continue;
+    probe.close();
+    return tok == "n" ? readEdgeListFile(path) : readSnapDimacsFile(path);
+  }
+  throw std::runtime_error("empty input file: " + path);
+}
+
 Graph loadGraph(const ArgParser& args) {
-  if (args.has("input")) return readEdgeListFile(args.get("input"));
+  if (args.has("input"))
+    return loadGraphFile(args.get("input"), args.get("format"));
   const auto n = static_cast<std::size_t>(args.getInt("n"));
   const double deg = args.getDouble("deg");
   WeightSpec weights;
@@ -84,11 +117,244 @@ SpannerResult runAlgorithm(const ArgParser& args, const Graph& g) {
   throw std::invalid_argument("unknown --algo: " + algo);
 }
 
+// ---------------------------------------------------------------------------
+// build-oracle: run the full pipeline (spanner + sketches) once and save the
+// query artifact.
+
+int runBuildOracle(int argc, const char* const* argv) {
+  ArgParser args("mpcspan build-oracle",
+                 "build a query artifact (spanner + TZ sketches) and save it");
+  args.flag("input", "", "graph file (overrides --family)")
+      .flag("format", "auto", "input format: auto|mpcspan|snap (SNAP/DIMACS)")
+      .flag("family", "gnm",
+            "generator: gnm|barabasi-albert|grid|geometric|cycle|hypercube|complete")
+      .flag("n", "10000", "vertices (generated graphs)")
+      .flag("deg", "12", "target average degree (generated graphs)")
+      .flag("weights", "uniform", "unit|uniform|integer|exponential")
+      .flag("wmax", "100", "max weight for non-unit models")
+      .flag("algo", "tradeoff",
+            "tradeoff|baswana-sen|dist-tradeoff|dist-baswana-sen")
+      .flag("k", "8", "spanner stretch parameter")
+      .flag("t", "0", "trade-off growth iterations (0 = log k)")
+      .flag("gamma", "0.5", "machine-memory exponent (dist-* simulator)")
+      .flag("threads", "0", "simulator stepping-pool lanes (dist-*)")
+      .flag("shards", "0", "simulator worker processes (dist-*)")
+      .flag("sketch-k", "3", "Thorup-Zwick levels (stretch 2k-1 on the spanner)")
+      .flag("sketch-seed", "1", "sketch sampling seed")
+      .flag("cache", "64", "oracle LRU capacity (rows) when serving")
+      .flag("seed", "1", "spanner random seed")
+      .flag("out", "", "artifact output path (required)");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(), args.usage().c_str());
+    return 2;
+  }
+  if (args.helpRequested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  try {
+    if (args.get("out").empty())
+      throw std::invalid_argument("build-oracle requires --out <path>");
+    const Graph g = loadGraph(args);
+    std::fprintf(stdout, "graph: n=%zu m=%zu %s\n", g.numVertices(), g.numEdges(),
+                 g.isUnweighted() ? "(unweighted)" : "(weighted)");
+
+    query::BuildPlan plan;
+    plan.algo = args.get("algo");
+    plan.k = static_cast<std::uint32_t>(args.getInt("k"));
+    plan.t = static_cast<std::uint32_t>(args.getInt("t"));
+    plan.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    plan.sketchK = static_cast<std::uint32_t>(args.getInt("sketch-k"));
+    plan.sketchSeed = static_cast<std::uint64_t>(args.getInt("sketch-seed"));
+    plan.cacheSources = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.getInt("cache")));
+    plan.threads = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.getInt("threads")));
+    plan.shards = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.getInt("shards")));
+    plan.gamma = args.getDouble("gamma");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const query::QueryArtifact a = query::buildArtifact(g, plan);
+    const double buildS =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::fprintf(stdout,
+                 "%s: spanner %zu edges (%.1f%%), k=%u, stretch <= %.1f\n",
+                 a.algorithm.c_str(), a.spannerEdges.size(),
+                 g.numEdges() ? 100.0 * static_cast<double>(a.spannerEdges.size()) /
+                                    static_cast<double>(g.numEdges())
+                              : 0.0,
+                 a.k, a.spannerStretch);
+    std::fprintf(stdout,
+                 "sketches: k=%u, %zu bunch entries, composed stretch <= %.1f\n",
+                 a.sketchParams.k, a.sketches.totalBunchEntries(),
+                 a.composedStretch);
+    if (a.buildRounds)
+      std::fprintf(stdout, "simulator: %zu rounds, %zu words moved\n",
+                   a.buildRounds, a.wordsMoved);
+    std::fprintf(stdout, "build time: %.2f s\n", buildS);
+
+    query::saveArtifactFile(a, args.get("out"));
+    std::fprintf(stdout, "artifact written to %s\n", args.get("out").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// query: reload an artifact and serve distance queries from it (no rebuild).
+
+int runQuery(int argc, const char* const* argv) {
+  ArgParser args("mpcspan query",
+                 "serve distance queries from a saved artifact");
+  args.flag("artifact", "", "artifact path (required)")
+      .flag("queries", "10000", "random query count")
+      .flag("seed", "1", "query rng seed")
+      .flag("threads", "1", "client threads for the random-query run")
+      .flag("warm", "-1", "oracle rows to warm before serving (-1 = cache capacity)")
+      .flag("cached-only", "true",
+            "middle tier answers only from warm cache rows (declines when cold)")
+      .flag("audit", "false", "compare a sample of answers against exact Dijkstra")
+      .flag("u", "", "single query source (with --v; skips the random run)")
+      .flag("v", "", "single query target");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n\n%s", args.error().c_str(), args.usage().c_str());
+    return 2;
+  }
+  if (args.helpRequested()) {
+    std::fputs(args.usage().c_str(), stdout);
+    return 0;
+  }
+  try {
+    if (args.get("artifact").empty())
+      throw std::invalid_argument("query requires --artifact <path>");
+    const query::QueryArtifact a = query::loadArtifactFile(args.get("artifact"));
+    const std::size_t n = a.graph.numVertices();
+    std::fprintf(stdout,
+                 "loaded artifact: n=%zu m=%zu, spanner %zu edges (%s, k=%u), "
+                 "sketch k=%u, composed stretch <= %.1f\n",
+                 n, a.graph.numEdges(), a.spannerEdges.size(),
+                 a.algorithm.c_str(), a.k, a.sketchParams.k, a.composedStretch);
+    if (n == 0) throw std::runtime_error("artifact graph is empty");
+
+    query::QueryPlaneOptions opt;
+    opt.spannerCachedOnly = args.getBool("cached-only");
+    query::QueryPlane plane = query::makeQueryPlane(a, opt);
+
+    const auto clientThreads = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.getInt("threads")));
+    runtime::ThreadPool pool(clientThreads);
+
+    std::int64_t warmN = args.getInt("warm");
+    if (warmN < 0) warmN = static_cast<std::int64_t>(plane.oracle->cacheCapacity());
+    if (warmN > 0) {
+      Rng wrng(static_cast<std::uint64_t>(args.getInt("seed")) ^ 0x9e3779b97f4a7c15ull);
+      std::vector<VertexId> sources;
+      sources.reserve(static_cast<std::size_t>(warmN));
+      for (std::int64_t i = 0; i < warmN; ++i)
+        sources.push_back(static_cast<VertexId>(wrng.next(n)));
+      const std::size_t warmed = plane.oracle->warm(sources, pool);
+      std::fprintf(stdout, "warmed %zu oracle rows (capacity %zu)\n", warmed,
+                   plane.oracle->cacheCapacity());
+    }
+
+    if (args.has("u") || args.has("v")) {
+      if (!(args.has("u") && args.has("v")))
+        throw std::invalid_argument("--u and --v must be given together");
+      const auto u = static_cast<VertexId>(args.getInt("u"));
+      const auto v = static_cast<VertexId>(args.getInt("v"));
+      if (u >= n || v >= n)
+        throw std::invalid_argument("--u/--v out of range [0, n)");
+      const Weight est = plane.tiered->query(u, v);
+      const Weight exact = dijkstraPair(a.graph, u, v);
+      std::fprintf(stdout, "d(%u, %u) <= %.6g (exact %.6g)\n", u, v, est, exact);
+      return 0;
+    }
+
+    const auto q = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.getInt("queries")));
+    Rng qrng(static_cast<std::uint64_t>(args.getInt("seed")));
+    std::vector<query::QueryPair> pairs(q);
+    for (auto& p : pairs)
+      p = {static_cast<VertexId>(qrng.next(n)),
+           static_cast<VertexId>(qrng.next(n))};
+    std::vector<Weight> answers(q);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.parallelFor(q, [&](std::size_t i) {
+      answers[i] = plane.tiered->query(pairs[i].first, pairs[i].second);
+    });
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::fprintf(stdout, "\n%-14s %10s %10s %6s %9s\n", "tier", "attempts",
+                 "hits", "hit%", "mean-us");
+    for (const query::TierStats& s : plane.tiered->stats()) {
+      const double hitPct =
+          s.attempts ? 100.0 * static_cast<double>(s.hits) /
+                           static_cast<double>(s.attempts)
+                     : 0.0;
+      const double meanUs =
+          s.attempts ? static_cast<double>(s.nanos) / 1e3 /
+                           static_cast<double>(s.attempts)
+                     : 0.0;
+      std::fprintf(stdout, "%-14s %10llu %10llu %5.1f%% %9.2f\n", s.name.c_str(),
+                   static_cast<unsigned long long>(s.attempts),
+                   static_cast<unsigned long long>(s.hits), hitPct, meanUs);
+    }
+    std::fprintf(stdout,
+                 "\nserved %zu queries in %.3f s (%.0f qps, %zu client threads)\n",
+                 q, elapsed,
+                 elapsed > 0 ? static_cast<double>(q) / elapsed : 0.0,
+                 clientThreads);
+
+    if (args.getBool("audit")) {
+      double maxRatio = 0, sumRatio = 0;
+      std::size_t audited = 0, violations = 0;
+      for (std::size_t i = 0; i < q && audited < 200; ++i) {
+        const auto [u, v] = pairs[i];
+        if (u == v) continue;
+        const Weight exact = dijkstraPair(a.graph, u, v);
+        if (exact == kInfDist || exact <= 0) continue;
+        const double ratio = answers[i] / exact;
+        maxRatio = std::max(maxRatio, ratio);
+        sumRatio += ratio;
+        if (ratio < 1.0 - 1e-9 || ratio > a.composedStretch + 1e-9) ++violations;
+        ++audited;
+      }
+      std::fprintf(stdout,
+                   "audit: %zu pairs, mean ratio %.3f, max %.3f, violations %zu\n",
+                   audited, audited ? sumRatio / static_cast<double>(audited) : 0.0,
+                   maxRatio, violations);
+      if (violations) return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && argv[1][0] != '-') {
+    const std::string cmd = argv[1];
+    if (cmd == "build-oracle") return runBuildOracle(argc - 1, argv + 1);
+    if (cmd == "query") return runQuery(argc - 1, argv + 1);
+    std::fprintf(stderr,
+                 "error: unknown subcommand '%s' (want build-oracle or query)\n",
+                 cmd.c_str());
+    return 2;
+  }
   ArgParser args("mpcspan", "spanner construction CLI (SPAA 2021 reproduction)");
   args.flag("input", "", "edge-list file (overrides --family)")
+      .flag("format", "auto", "input format: auto|mpcspan|snap (SNAP/DIMACS)")
       .flag("family", "gnm", "generator: gnm|barabasi-albert|grid|geometric|cycle|hypercube|complete")
       .flag("n", "10000", "vertices (generated graphs)")
       .flag("deg", "12", "target average degree (generated graphs)")
