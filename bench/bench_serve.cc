@@ -1,0 +1,154 @@
+// Serving-daemon benchmark: end-to-end wire qps and latency against an
+// in-process mpcspand Server, plus the degradation behaviour under a tight
+// per-query deadline.
+//
+// Three sweeps over a 3000-vertex artifact:
+//   - 1 client thread, unbounded deadline (the exact tier answers),
+//   - N client threads, unbounded deadline (contention on the wire path),
+//   - N client threads, 0 ms deadline (every answer degrades to the
+//     sketch floor — the overload posture, measuring the latency the
+//     degradation ladder buys).
+//
+// With MPCSPAN_BENCH_JSON set, emits one row per (threads, deadline)
+// configuration (BENCH_serve.json in the CI benchmark job).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "query/build.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace mpcspan;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double usSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+struct RunResult {
+  double qps = 0;
+  Summary latency;
+  double degradedFrac = 0;
+};
+
+RunResult hammer(std::uint16_t port, std::size_t n, std::size_t threads,
+                 std::size_t queriesPerThread, std::uint64_t deadlineMs) {
+  std::vector<std::vector<double>> us(threads);
+  std::vector<std::size_t> degraded(threads, 0);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      serve::ClientOptions copt;
+      copt.port = port;
+      copt.seed = 100 + t;
+      serve::ServeClient client(copt);
+      Rng rng(41 + t);
+      us[t].reserve(queriesPerThread);
+      for (std::size_t i = 0; i < queriesPerThread; ++i) {
+        const auto u = static_cast<VertexId>(rng.next(n));
+        const auto v = static_cast<VertexId>(rng.next(n));
+        const auto s0 = Clock::now();
+        const serve::WireAnswer ans = client.query(u, v, deadlineMs);
+        us[t].push_back(usSince(s0));
+        if (ans.degraded) ++degraded[t];
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunResult r;
+  std::vector<double> all;
+  std::size_t totalDegraded = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    all.insert(all.end(), us[t].begin(), us[t].end());
+    totalDegraded += degraded[t];
+  }
+  r.latency = summarize(all);
+  const auto total = static_cast<double>(threads * queriesPerThread);
+  r.qps = elapsed > 0 ? total / elapsed : 0.0;
+  r.degradedFrac = total > 0 ? static_cast<double>(totalDegraded) / total : 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("serve",
+                     "daemon wire path: qps, tail latency, degraded fraction");
+  bench::BenchJson json("serve");
+
+  const std::size_t n = 3000, m = 24000;
+  const Graph g = bench::weightedGnm(n, m, /*seed=*/7);
+  query::BuildPlan plan;
+  plan.algo = "tradeoff";
+  plan.k = 6;
+  plan.sketchK = 3;
+  const query::QueryArtifact a = query::buildArtifact(g, plan);
+  const std::string artifact = "/tmp/bench_serve_artifact.mpqa";
+  query::saveArtifactFile(a, artifact);
+
+  serve::ServerOptions sopt;
+  sopt.artifactPath = artifact;
+  sopt.sessionThreads = runtime::ThreadPool::defaultThreads();
+  serve::Server server(sopt);
+  server.start();
+  std::printf("daemon: n=%zu on 127.0.0.1:%u, %zu session threads\n", n,
+              server.port(), sopt.sessionThreads);
+
+  const std::size_t wide = runtime::ThreadPool::defaultThreads();
+  const std::size_t perThread = 4000;
+  struct Config {
+    std::size_t threads;
+    std::uint64_t deadlineMs;
+    const char* label;
+  };
+  const Config configs[] = {
+      {1, serve::kDeadlineDefault, "1xunbounded"},
+      {wide, serve::kDeadlineDefault, "Nxunbounded"},
+      {wide, 0, "Nxdeadline0"},
+  };
+
+  std::printf("\n%-14s %8s %10s %10s %10s %10s\n", "config", "threads", "qps",
+              "p50-us", "p99-us", "degraded");
+  for (const Config& c : configs) {
+    const RunResult r =
+        hammer(server.port(), n, c.threads, perThread, c.deadlineMs);
+    std::printf("%-14s %8zu %10.0f %10.2f %10.2f %9.1f%%\n", c.label,
+                c.threads, r.qps, r.latency.p50, r.latency.p99,
+                100.0 * r.degradedFrac);
+    json.record({{"threads", static_cast<double>(c.threads)},
+                 {"deadline_ms",
+                  c.deadlineMs == serve::kDeadlineDefault
+                      ? -1.0
+                      : static_cast<double>(c.deadlineMs)},
+                 {"qps", r.qps},
+                 {"p50_us", r.latency.p50},
+                 {"p99_us", r.latency.p99},
+                 {"degraded_frac", r.degradedFrac}});
+  }
+
+  const serve::ServeStats s = server.statsSnapshot();
+  std::printf(
+      "\ndaemon counters: accepted %llu, queries %llu (degraded %llu), "
+      "shed %llu, malformed %llu\n",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.queries),
+      static_cast<unsigned long long>(s.degraded),
+      static_cast<unsigned long long>(s.shedQueueFull),
+      static_cast<unsigned long long>(s.malformedFrames));
+  server.stop();
+  std::remove(artifact.c_str());
+  return 0;
+}

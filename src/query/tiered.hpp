@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "query/provider.hpp"
+#include "util/deadline.hpp"
 
 namespace mpcspan::query {
 
@@ -30,6 +31,27 @@ struct TierStats {
   std::uint64_t attempts = 0;
   std::uint64_t hits = 0;     // answers accepted from this tier
   std::uint64_t nanos = 0;    // total time spent in this tier's tryQuery
+};
+
+/// One coherent aggregate of every TieredOracle counter — what the serving
+/// daemon's STATS command reports. Reads are relaxed atomics (the same
+/// discipline as stats()), so snapshotting never blocks or races live
+/// queries; the fields are each individually consistent, not a cross-field
+/// transaction.
+struct OracleSnapshot {
+  std::vector<TierStats> tiers;
+  std::uint64_t queries = 0;   // query() + queryBudgeted() calls
+  std::uint64_t degraded = 0;  // budget-degraded queryBudgeted answers
+};
+
+/// queryBudgeted's result: the estimate plus the certificate that makes a
+/// degraded answer principled — which tier answered and the multiplicative
+/// stretch bound it guarantees.
+struct BudgetedAnswer {
+  Weight dist = kInfDist;
+  int tier = -1;           // index into tier(); -1 = every tier declined
+  bool degraded = false;   // a more accurate tier was skipped for budget
+  double stretch = 1.0;    // stretchBound() of the answering tier
 };
 
 class TieredOracle final : public DistanceProvider {
@@ -49,9 +71,38 @@ class TieredOracle final : public DistanceProvider {
   std::size_t numTiers() const { return tiers_.size(); }
   const DistanceProvider& tier(std::size_t i) const { return *tiers_[i]; }
 
+  /// Deadline-budgeted, accuracy-first query — the serving daemon's entry
+  /// point. Where query() walks cheapest-first (minimize work), this walks
+  /// the ladder *costliest/most-accurate first* (maximize answer quality)
+  /// and lets the budget prune it: a tier above the floor is entered only
+  /// when the budget's remaining time covers that tier's observed mean
+  /// tryQuery latency (counter-derived; a tier with no samples yet is
+  /// always admitted — its first call seeds the estimate). Tier 0, the
+  /// cheapest, is the degradation floor and is never skipped.
+  ///
+  /// Acceptance mirrors query(): kNoAnswer falls down the ladder, and
+  /// kInfDist is authoritative only from the strongest tier (or from the
+  /// floor, when nothing below remains to try). The answer is flagged
+  /// `degraded` when a more accurate tier was skipped for budget — the
+  /// caller gets the answering tier's certified stretchBound() alongside,
+  /// so a degraded reply is a weaker certificate, not a guess.
+  ///
+  /// If every admitted tier declines (impossible in the canonical stack —
+  /// the sketch floor always answers), the walk retries once ignoring the
+  /// budget: availability beats the deadline. An unbounded budget makes
+  /// this exactly "strongest tier answers".
+  ///
+  /// Thread-safe under the same contract as query().
+  BudgetedAnswer queryBudgeted(VertexId u, VertexId v,
+                               const util::DeadlineBudget& budget) const;
+
   /// Snapshot of per-tier counters (monotone since construction or the
   /// last resetStats).
   std::vector<TierStats> stats() const;
+  /// Everything at once: per-tier counters plus the query/degraded totals.
+  OracleSnapshot snapshot() const;
+  /// Zeroes every counter stats()/snapshot() report, including the
+  /// query/degraded totals (relaxed stores; safe against live queries).
   void resetStats();
 
  private:
@@ -61,10 +112,17 @@ class TieredOracle final : public DistanceProvider {
     std::atomic<std::uint64_t> nanos{0};
   };
 
+  /// tryQuery on tier i with attempt/latency accounting (hit not counted).
+  Weight timedTryQuery(std::size_t i, VertexId u, VertexId v) const;
+  /// Observed mean tryQuery nanos of tier i; 0 until the first sample.
+  std::uint64_t meanTierNanos(std::size_t i) const;
+
   std::vector<std::shared_ptr<const DistanceProvider>> tiers_;
   // Sized once at construction; atomics are immovable so the vector is
   // never resized.
   mutable std::vector<Counters> counters_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> degraded_{0};
 };
 
 }  // namespace mpcspan::query

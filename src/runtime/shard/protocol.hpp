@@ -18,6 +18,7 @@
 
 #include "runtime/shard/wire.hpp"
 #include "runtime/types.hpp"
+#include "util/deadline.hpp"
 
 namespace mpcspan::runtime::shard {
 
@@ -78,7 +79,7 @@ std::uint8_t classify(std::string& err);
 /// (the round's shared deadline budget) stops the spin early once the
 /// round is out of time, so the expiry surfaces from the blocking read
 /// instead of being hidden behind yields.
-void spinAwaitReadable(int fd, const class DeadlineBudget* budget = nullptr);
+void spinAwaitReadable(int fd, const util::DeadlineBudget* budget = nullptr);
 
 /// Broadcast kernel args on the wire: u64 count + words.
 void writeArgs(WireWriter& w, const std::vector<Word>& args);

@@ -43,9 +43,13 @@ void tuneTcpFd(int fd) {
 }
 
 void awaitFd(int fd, short events, int deadlineMs, const char* what) {
+  // The deadline is absolute: an EINTR restart polls only for the time
+  // still remaining, so a signal-heavy process (the serving daemon's
+  // SIGHUP reloads, profilers) cannot extend the wait past deadlineMs.
+  const util::DeadlineBudget budget(deadlineMs);
   pollfd pfd{fd, events, 0};
   for (;;) {
-    const int rc = ::poll(&pfd, 1, deadlineMs);
+    const int rc = ::poll(&pfd, 1, budget.remainingMs());
     if (rc < 0) {
       if (errno == EINTR) continue;
       throwErrno(std::string(what) + " poll");

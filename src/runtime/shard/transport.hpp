@@ -18,55 +18,26 @@
 // wait, not per frame: progress resets the clock, silence expires it.
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
 #include "runtime/shard/wire.hpp"
+#include "util/deadline.hpp"
 
 namespace mpcspan::runtime::shard {
 
 /// One shared wall-clock budget for every communication wait of a round.
 ///
-/// The Channel deadline above is *per blocking wait*: progress resets the
+/// The Channel deadline below is *per blocking wait*: progress resets the
 /// clock. That is the right contract for a single stream (a peer making
 /// progress is alive), but wrong for a round barrier composed of many
 /// waits — a peer trickling one byte per poll interval would reset the
 /// clock forever and extend the round unbounded past MPCSPAN_TCP_TIMEOUT_MS.
-/// A DeadlineBudget fixes the expiry instant once, at construction
-/// (monotonic clock), and every wait it paces asks only for the time still
-/// remaining; trickling spends the budget instead of refreshing it.
-///
-/// Constructed from a negative total the budget is unbounded (remainingMs()
-/// is -1, poll's "wait forever"), matching the same-host transports where
-/// peer death always surfaces as an fd event.
-class DeadlineBudget {
- public:
-  DeadlineBudget() = default;  // unbounded
-  explicit DeadlineBudget(int totalMs)
-      : totalMs_(totalMs),
-        deadline_(std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(totalMs < 0 ? 0 : totalMs)) {}
-
-  bool bounded() const { return totalMs_ >= 0; }
-  int totalMs() const { return totalMs_; }
-
-  /// Milliseconds left, clamped to >= 0; -1 when unbounded. Suitable as a
-  /// poll() timeout verbatim.
-  int remainingMs() const {
-    if (!bounded()) return -1;
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          deadline_ - std::chrono::steady_clock::now())
-                          .count();
-    return left > 0 ? static_cast<int>(left) : 0;
-  }
-
-  bool expired() const { return bounded() && remainingMs() == 0; }
-
- private:
-  int totalMs_ = -1;
-  std::chrono::steady_clock::time_point deadline_{};
-};
+/// The budget fixes the expiry instant once; trickling spends it instead of
+/// refreshing it. The class itself now lives in util/deadline.hpp (the
+/// serving daemon paces per-request deadlines with the same type); this
+/// alias keeps the shard layer's historical spelling working.
+using DeadlineBudget = ::mpcspan::util::DeadlineBudget;
 
 class Channel {
  public:

@@ -32,8 +32,10 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mpc/dist_spanner.hpp"
+#include "query/audit.hpp"
 #include "query/build.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/client.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/cluster_merging.hpp"
 #include "spanner/sqrtk.hpp"
@@ -208,10 +210,115 @@ int runBuildOracle(int argc, const char* const* argv) {
 // ---------------------------------------------------------------------------
 // query: reload an artifact and serve distance queries from it (no rebuild).
 
+// --connect: the same subcommand as a network client of mpcspand. Keeps
+// the local flags' meaning; --audit stays local-only (it needs the graph).
+int runQueryConnected(const ArgParser& args) {
+  const std::string where = args.get("connect");
+  const auto colon = where.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= where.size())
+    throw std::invalid_argument("--connect wants host:port, got '" + where +
+                                "'");
+  serve::ClientOptions copt;
+  copt.host = where.substr(0, colon);
+  copt.port = static_cast<std::uint16_t>(
+      std::stoul(where.substr(colon + 1)));
+  copt.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  serve::ServeClient client(copt);
+
+  if (!args.get("reload").empty()) {
+    const std::uint64_t version = client.reload(args.get("reload"));
+    std::fprintf(stdout, "reloaded: snapshot v%llu now serving\n",
+                 static_cast<unsigned long long>(version));
+    return 0;
+  }
+  if (args.getBool("stats")) {
+    const serve::ServeStats s = client.stats();
+    std::fprintf(stdout,
+                 "snapshot v%llu, n=%llu\n"
+                 "accepted %llu, active %llu, queries %llu (degraded %llu)\n"
+                 "shed %llu, slow-drops %llu, malformed %llu, reloads ok %llu "
+                 "failed %llu\n",
+                 static_cast<unsigned long long>(s.snapshotVersion),
+                 static_cast<unsigned long long>(s.numVertices),
+                 static_cast<unsigned long long>(s.accepted),
+                 static_cast<unsigned long long>(s.activeSessions),
+                 static_cast<unsigned long long>(s.queries),
+                 static_cast<unsigned long long>(s.degraded),
+                 static_cast<unsigned long long>(s.shedQueueFull),
+                 static_cast<unsigned long long>(s.slowClientDrops),
+                 static_cast<unsigned long long>(s.malformedFrames),
+                 static_cast<unsigned long long>(s.reloadsOk),
+                 static_cast<unsigned long long>(s.reloadsFailed));
+    std::fprintf(stdout, "\n%-14s %10s %10s %10s\n", "tier", "attempts",
+                 "hits", "mean-us");
+    for (const serve::TierCounters& t : s.tiers)
+      std::fprintf(stdout, "%-14s %10llu %10llu %10.2f\n", t.name.c_str(),
+                   static_cast<unsigned long long>(t.attempts),
+                   static_cast<unsigned long long>(t.hits),
+                   t.attempts ? static_cast<double>(t.nanos) / 1e3 /
+                                    static_cast<double>(t.attempts)
+                              : 0.0);
+    return 0;
+  }
+
+  const std::int64_t deadlineArg = args.getInt("deadline-ms");
+  const std::uint64_t deadlineMs =
+      deadlineArg < 0 ? serve::kDeadlineDefault
+                      : static_cast<std::uint64_t>(deadlineArg);
+
+  if (args.has("u") || args.has("v")) {
+    if (!(args.has("u") && args.has("v")))
+      throw std::invalid_argument("--u and --v must be given together");
+    const auto u = static_cast<VertexId>(args.getInt("u"));
+    const auto v = static_cast<VertexId>(args.getInt("v"));
+    const serve::WireAnswer ans = client.query(u, v, deadlineMs);
+    std::fprintf(stdout,
+                 "d(%u, %u) <= %.6g (tier %lld, stretch <= %.1f%s, "
+                 "snapshot v%llu)\n",
+                 u, v, ans.dist, static_cast<long long>(ans.tier),
+                 ans.stretch, ans.degraded ? ", degraded" : "",
+                 static_cast<unsigned long long>(ans.snapshotVersion));
+    return 0;
+  }
+
+  const serve::HelloInfo info = client.serverInfo();
+  if (info.numVertices == 0) throw std::runtime_error("server graph is empty");
+  const auto q = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.getInt("queries")));
+  Rng qrng(static_cast<std::uint64_t>(args.getInt("seed")));
+  std::size_t degraded = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto u = static_cast<VertexId>(qrng.next(info.numVertices));
+    const auto v = static_cast<VertexId>(qrng.next(info.numVertices));
+    const serve::WireAnswer ans = client.query(u, v, deadlineMs);
+    if (ans.degraded) ++degraded;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stdout,
+               "served %zu remote queries in %.3f s (%.0f qps), "
+               "%zu degraded (%.1f%%)\n",
+               q, elapsed, elapsed > 0 ? static_cast<double>(q) / elapsed : 0.0,
+               degraded, 100.0 * static_cast<double>(degraded) /
+                             static_cast<double>(q));
+  return 0;
+}
+
 int runQuery(int argc, const char* const* argv) {
   ArgParser args("mpcspan query",
                  "serve distance queries from a saved artifact");
-  args.flag("artifact", "", "artifact path (required)")
+  args.flag("artifact", "", "artifact path (required unless --connect)")
+      .flag("connect", "",
+            "host:port of a running mpcspand; queries go over the wire "
+            "instead of a locally loaded artifact")
+      .flag("deadline-ms", "-1",
+            "per-query deadline budget sent with --connect queries "
+            "(-1 = server default)")
+      .flag("stats", "false", "with --connect: print daemon counters and exit")
+      .flag("reload", "",
+            "with --connect: ask the daemon to hot-swap to this artifact path")
       .flag("queries", "10000", "random query count")
       .flag("seed", "1", "query rng seed")
       .flag("threads", "1", "client threads for the random-query run")
@@ -230,6 +337,12 @@ int runQuery(int argc, const char* const* argv) {
     return 0;
   }
   try {
+    if (!args.get("connect").empty()) {
+      if (args.getBool("audit"))
+        throw std::invalid_argument(
+            "--audit needs the graph and is local-only; drop --connect");
+      return runQueryConnected(args);
+    }
     if (args.get("artifact").empty())
       throw std::invalid_argument("query requires --artifact <path>");
     const query::QueryArtifact a = query::loadArtifactFile(args.get("artifact"));
@@ -314,24 +427,18 @@ int runQuery(int argc, const char* const* argv) {
                  clientThreads);
 
     if (args.getBool("audit")) {
-      double maxRatio = 0, sumRatio = 0;
-      std::size_t audited = 0, violations = 0;
-      for (std::size_t i = 0; i < q && audited < 200; ++i) {
-        const auto [u, v] = pairs[i];
-        if (u == v) continue;
-        const Weight exact = dijkstraPair(a.graph, u, v);
-        if (exact == kInfDist || exact <= 0) continue;
-        const double ratio = answers[i] / exact;
-        maxRatio = std::max(maxRatio, ratio);
-        sumRatio += ratio;
-        if (ratio < 1.0 - 1e-9 || ratio > a.composedStretch + 1e-9) ++violations;
-        ++audited;
-      }
+      const query::AuditReport report =
+          query::auditEnvelope(a.graph, pairs, answers, a.composedStretch);
+      for (const query::AuditViolation& bad : report.violations)
+        std::fprintf(stdout,
+                     "audit violation: u=%u v=%u got=%.9g exact=%.9g "
+                     "(envelope [1, %.3f])\n",
+                     bad.u, bad.v, bad.got, bad.exact, a.composedStretch);
       std::fprintf(stdout,
                    "audit: %zu pairs, mean ratio %.3f, max %.3f, violations %zu\n",
-                   audited, audited ? sumRatio / static_cast<double>(audited) : 0.0,
-                   maxRatio, violations);
-      if (violations) return 1;
+                   report.audited, report.meanRatio, report.maxRatio,
+                   report.violations.size());
+      if (!report.ok()) return 1;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# Fault-injection smoke for the serving daemon: start mpcspand over a small
+# artifact, then throw the standard catalogue of client-side abuse at it —
+# a client killed mid-run, garbage and oversized frames, a reload pointed
+# at a bit-flipped artifact, a slow partial-frame writer, a connection
+# burst past the shed watermark — and assert after every fault that the
+# daemon still answers a correctness probe. Finish with SIGHUP (reload
+# works) and SIGTERM (exit 0, "clean shutdown" on stdout, no stray
+# process, port freed, no fd growth).
+#
+#   tools/serve_fault_smoke.sh [build-dir] [port]
+#
+# Exit status: 0 = daemon survived everything, 1 = a fault took it down or
+# a probe failed, 2 = setup problem. CI wraps this in `timeout`.
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+PORT="${2:-39427}"
+MPCSPAN="$BUILD_DIR/mpcspan"
+MPCSPAND="$BUILD_DIR/mpcspand"
+
+if [[ ! -x "$MPCSPAN" || ! -x "$MPCSPAND" ]]; then
+  echo "serve_fault_smoke: $MPCSPAN / $MPCSPAND not found (build first)" >&2
+  exit 2
+fi
+
+OUT="$(mktemp -d)"
+DAEMON=""
+cleanup() {
+  [[ -n "$DAEMON" ]] && kill -9 "$DAEMON" 2>/dev/null
+  rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_fault_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$OUT/daemon.log" >&2
+  exit 1
+}
+
+# The correctness probe: the same pair, every time; the answer must never
+# change while any version of the same artifact is serving. The snapshot
+# version is stripped — it legitimately bumps on reload.
+probe() {
+  "$MPCSPAN" query --connect "127.0.0.1:$PORT" --u 1 --v 7 \
+    | sed 's/, snapshot v[0-9]*//'
+}
+
+daemon_fds() {
+  ls "/proc/$DAEMON/fd" 2>/dev/null | wc -l
+}
+
+# --- Setup: artifact + daemon ---------------------------------------------
+
+"$MPCSPAN" build-oracle --n 400 --deg 6 --k 4 --sketch-k 2 \
+  --out "$OUT/a.mpqa" >/dev/null 2>&1 || exit 2
+
+"$MPCSPAND" --artifact "$OUT/a.mpqa" --port "$PORT" --queue 4 --threads 2 \
+  >"$OUT/daemon.log" 2>&1 &
+DAEMON=$!
+for _ in $(seq 50); do
+  grep -q "listening on" "$OUT/daemon.log" && break
+  sleep 0.1
+done
+grep -q "listening on" "$OUT/daemon.log" || fail "daemon never came up"
+
+BASELINE="$(probe)" || fail "initial probe failed"
+echo "baseline: $BASELINE"
+FDS_BASE="$(daemon_fds)"
+
+# --- Fault 1: client killed mid-request-stream -----------------------------
+
+"$MPCSPAN" query --connect "127.0.0.1:$PORT" --queries 2000000 \
+  >/dev/null 2>&1 &
+VICTIM=$!
+sleep 0.3
+kill -9 "$VICTIM" 2>/dev/null
+wait "$VICTIM" 2>/dev/null
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe changed after client kill"
+echo "fault 1 (client killed mid-stream): survived"
+
+# --- Fault 2: garbage frames and an oversized length prefix ---------------
+
+# Raw garbage bytes (not even a valid length prefix stream).
+head -c 64 /dev/urandom >"/dev/tcp/127.0.0.1/$PORT" 2>/dev/null
+# A length prefix claiming 1 GiB, then nothing.
+printf '\x00\x00\x00\x40\x00\x00\x00\x00' >"/dev/tcp/127.0.0.1/$PORT" 2>/dev/null
+sleep 0.3
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe changed after garbage frames"
+echo "fault 2 (garbage + oversized frames): survived"
+
+# --- Fault 3: reload of a truncated, bit-flipped artifact ------------------
+
+head -c 2000 "$OUT/a.mpqa" >"$OUT/corrupt.mpqa"
+printf '\x5a' | dd of="$OUT/corrupt.mpqa" bs=1 seek=100 conv=notrunc 2>/dev/null
+if "$MPCSPAN" query --connect "127.0.0.1:$PORT" --reload "$OUT/corrupt.mpqa" \
+    >/dev/null 2>&1; then
+  fail "corrupt reload reported success"
+fi
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe changed after corrupt reload"
+"$MPCSPAN" query --connect "127.0.0.1:$PORT" --stats | tee "$OUT/stats.txt" \
+  | grep -q "failed 1" || fail "stats do not show the failed reload"
+# ... and a good reload still lands afterwards.
+"$MPCSPAN" query --connect "127.0.0.1:$PORT" --reload "$OUT/a.mpqa" \
+  >/dev/null || fail "good reload after corrupt one failed"
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe changed after good reload"
+echo "fault 3 (bit-flipped artifact reload): survived"
+
+# --- Fault 4: slow client writing a partial frame and stalling -------------
+
+(
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" || exit 0
+  # 8-byte length prefix promising 32 bytes, then only 2 of them, then stall.
+  printf '\x20\x00\x00\x00\x00\x00\x00\x00\x01\x02' >&3
+  sleep 3
+  exec 3>&-
+) &
+SLOW=$!
+sleep 0.5
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe stalled behind slow client"
+echo "fault 4 (slow partial-frame client): survived"
+wait "$SLOW" 2>/dev/null
+
+# --- Fault 5: connection burst past the shed watermark ---------------------
+
+BURST=()
+for i in $(seq 60); do
+  "$MPCSPAN" query --connect "127.0.0.1:$PORT" --u 1 --v 7 \
+    >>"$OUT/burst.out" 2>>"$OUT/burst.err" &
+  BURST+=($!)
+done
+wait "${BURST[@]}" 2>/dev/null
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe failed after burst storm"
+echo "fault 5 (60-client burst): survived"
+
+# --- Fd stability ----------------------------------------------------------
+
+sleep 0.5
+FDS_NOW="$(daemon_fds)"
+if (( FDS_NOW > FDS_BASE + 6 )); then
+  fail "daemon fd count grew: $FDS_BASE -> $FDS_NOW"
+fi
+echo "fds stable: $FDS_BASE -> $FDS_NOW"
+
+# --- SIGHUP reload, then SIGTERM clean shutdown ----------------------------
+
+kill -HUP "$DAEMON" || fail "SIGHUP delivery failed"
+sleep 0.5
+[[ "$(probe)" == "$BASELINE" ]] || fail "probe changed after SIGHUP reload"
+
+kill -TERM "$DAEMON" || fail "SIGTERM delivery failed"
+DAEMON_WAIT="$DAEMON"
+DAEMON=""  # cleanup() must not SIGKILL it; we are asserting a clean exit
+wait "$DAEMON_WAIT"
+RC=$?
+[[ "$RC" -eq 0 ]] || fail "daemon exit=$RC after SIGTERM, want 0"
+grep -q "clean shutdown" "$OUT/daemon.log" || fail "no clean-shutdown banner"
+if pgrep -f "mpcspand --artifact $OUT" >/dev/null; then
+  fail "stray mpcspand left behind"
+fi
+# Port freed: a fresh bind on the same port must succeed.
+"$MPCSPAND" --artifact "$OUT/a.mpqa" --port "$PORT" >"$OUT/rebind.log" 2>&1 &
+REBIND=$!
+for _ in $(seq 50); do
+  grep -q "listening on" "$OUT/rebind.log" && break
+  sleep 0.1
+done
+grep -q "listening on" "$OUT/rebind.log" || fail "port not freed after exit"
+kill -TERM "$REBIND" && wait "$REBIND" || fail "rebound daemon unclean exit"
+
+echo "serve_fault_smoke: PASS (daemon survived kill/garbage/corrupt-reload/slow-client/burst, clean SIGTERM exit)"
